@@ -1,0 +1,383 @@
+package m2td
+
+// Benchmark harness: one testing.B benchmark per evaluation table of the
+// paper (Tables II–VIII of Section VII), plus ablation micro-benchmarks
+// for the design choices called out in DESIGN.md.
+//
+// Each table benchmark executes the same experiment code path the
+// cmd/m2tdbench CLI uses to print the paper-style rows, and reports the
+// headline accuracies as custom metrics. Benchmarks run at a reduced
+// default scale (resolution 10) so `go test -bench=.` completes quickly;
+// set M2TD_BENCH_RES (e.g. 16) to scale up. Ground truths are cached per
+// process, so b.N iterations measure the decomposition pipeline, not the
+// simulators.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/increment"
+	"repro/internal/partition"
+	"repro/internal/stitch"
+	"repro/internal/tucker"
+)
+
+// benchRes returns the benchmark resolution (default 10, override with
+// M2TD_BENCH_RES).
+func benchRes() int {
+	if s := os.Getenv("M2TD_BENCH_RES"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 1 {
+			return v
+		}
+	}
+	return 10
+}
+
+// benchBase returns the shared base experiment configuration.
+func benchBase() eval.Config {
+	cfg := eval.DefaultConfig("double-pendulum")
+	cfg.Res = benchRes()
+	cfg.TimeSamples = benchRes()
+	cfg.Rank = 3
+	return cfg
+}
+
+// reportAccuracies attaches headline accuracies as custom metrics.
+func reportAccuracies(b *testing.B, cmp *eval.Comparison) {
+	b.Helper()
+	if r, ok := cmp.Get(eval.SchemeSELECT); ok {
+		b.ReportMetric(r.Accuracy, "select-acc")
+	}
+	if r, ok := cmp.Get(eval.SchemeRandom); ok {
+		b.ReportMetric(r.Accuracy, "random-acc")
+	}
+}
+
+// BenchmarkTable2 regenerates Table II: the six-scheme accuracy/time grid
+// over resolutions and ranks for the double pendulum.
+func BenchmarkTable2(b *testing.B) {
+	base := benchBase()
+	resolutions := []int{benchRes()}
+	ranks := []int{2, 4}
+	var last []*eval.Comparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmps, err := eval.Table2(base, resolutions, ranks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cmps
+	}
+	b.StopTimer()
+	if len(last) > 0 {
+		reportAccuracies(b, last[len(last)-1])
+	}
+}
+
+// BenchmarkTable3 regenerates Table III: the D-M2TD phase-time split by
+// server count.
+func BenchmarkTable3(b *testing.B) {
+	base := benchBase()
+	workers := []int{1, 2, 4, 8}
+	var last []eval.Table3Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table3(base, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.StopTimer()
+	if len(last) > 0 {
+		final := last[len(last)-1]
+		b.ReportMetric(float64(final.Phase3.Microseconds())/1000, "phase3-ms")
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV: the six-scheme comparison on the
+// triple pendulum and Lorenz systems.
+func BenchmarkTable4(b *testing.B) {
+	base := benchBase()
+	var last []*eval.Comparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmps, err := eval.Table4(base, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cmps
+	}
+	b.StopTimer()
+	if len(last) > 0 {
+		reportAccuracies(b, last[0])
+	}
+}
+
+// BenchmarkTable5 regenerates Table V: reduced budgets with join vs
+// zero-join stitching.
+func BenchmarkTable5(b *testing.B) {
+	base := benchBase()
+	var last []eval.Table5Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table5(base, []float64{1.0, 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.StopTimer()
+	for _, row := range last {
+		if row.BudgetFrac < 1 && row.ZeroJoin {
+			if r, ok := row.Comparison.Get(eval.SchemeSELECT); ok {
+				b.ReportMetric(r.Accuracy, "zerojoin-acc")
+			}
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates Table VI: the pivot-density (P) sweep.
+func BenchmarkTable6(b *testing.B) {
+	base := benchBase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table6(base, []float64{1.0, 0.5, 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7 regenerates Table VII: the sub-ensemble-density (E)
+// sweep.
+func BenchmarkTable7(b *testing.B) {
+	base := benchBase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table7(base, []float64{1.0, 0.5, 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8 regenerates Table VIII: the pivot-parameter sweep over
+// all five modes.
+func BenchmarkTable8(b *testing.B) {
+	base := benchBase()
+	var last []eval.PivotRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table8(base, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.StopTimer()
+	if len(last) > 0 {
+		if r, ok := last[0].Comparison.Get(eval.SchemeSELECT); ok {
+			b.ReportMetric(r.Accuracy, "pivot-t-acc")
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices from DESIGN.md) ---
+
+// benchPartition builds one PF-partitioned pair at bench scale.
+func benchPartition(b *testing.B) (*partition.Result, []int) {
+	b.Helper()
+	space, err := eval.SpaceFor("double-pendulum", benchRes(), benchRes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := Partition(space, space.TimeMode(), 1, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return part, tucker.UniformRanks(space.Order(), 3)
+}
+
+// BenchmarkM2TDVariants measures the three fusion strategies in isolation
+// on a shared partition (the AVG/CONCAT/SELECT ablation).
+func BenchmarkM2TDVariants(b *testing.B) {
+	part, ranks := benchPartition(b)
+	for _, m := range core.Methods() {
+		b.Run(string(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Decompose(part, core.Options{Method: m, Ranks: ranks}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStitching measures join vs zero-join JE-stitching at a reduced
+// sub-ensemble density (where they differ).
+func BenchmarkStitching(b *testing.B) {
+	space, err := eval.SpaceFor("double-pendulum", benchRes(), benchRes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := Partition(space, space.TimeMode(), 1, 0.3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stitch.Join(part)
+		}
+	})
+	b.Run("zero-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stitch.ZeroJoin(part)
+		}
+	})
+}
+
+// BenchmarkDistributedWorkers measures D-M2TD end-to-end at different
+// worker counts (the scaling ablation behind Table III).
+func BenchmarkDistributedWorkers(b *testing.B) {
+	part, ranks := benchPartition(b)
+	for _, w := range []int{1, 4, 16} {
+		b.Run(strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := dist.Decompose(part, dist.Options{
+					Options: core.Options{Method: core.SELECT, Ranks: ranks},
+					Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConventionalHOSVD measures the baseline pipeline: HOSVD of a
+// conventionally sampled sparse ensemble.
+func BenchmarkConventionalHOSVD(b *testing.B) {
+	cfg := Config{Resolution: benchRes(), Rank: 3, SkipAccuracy: true}
+	report, err := Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := report.NumSims
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Baseline(Config{Resolution: benchRes(), Rank: 3, SkipAccuracy: true}, "random", budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the Table I configuration summary.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table1([]string{"double-pendulum"}, []int{benchRes()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the Figure 6 density-boost report.
+func BenchmarkFig6(b *testing.B) {
+	base := benchBase()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig6(base, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnionBaseline measures the paper's naive union alternative
+// (Section I-C) against which JE-stitching is motivated.
+func BenchmarkUnionBaseline(b *testing.B) {
+	part, _ := benchPartition(b)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.UnionResult(part, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.Accuracy
+	}
+	b.StopTimer()
+	b.ReportMetric(acc, "union-acc")
+}
+
+// BenchmarkNoiseSweep measures the robustness ablation.
+func BenchmarkNoiseSweep(b *testing.B) {
+	base := benchBase()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.NoiseSweep(base, []float64{0, 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchedHOSVD measures the randomized-sketch baseline at
+// decreasing keep fractions (the MACH/PARCUBE-style ablation).
+func BenchmarkSketchedHOSVD(b *testing.B) {
+	part, ranks := benchPartition(b)
+	j := stitch.Join(part)
+	for _, frac := range []float64{1.0, 0.5, 0.1} {
+		b.Run(fmt.Sprintf("keep=%.0f%%", frac*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := tucker.SketchedHOSVD(j, ranks, tucker.SketchOptions{
+					KeepFrac: frac,
+					Rng:      rand.New(rand.NewSource(int64(i))),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalAppend measures streaming Gram maintenance per
+// appended cell.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	part, _ := benchPartition(b)
+	tr := increment.New(part)
+	shape := part.Sub1.Tensor.Shape
+	rng := rand.New(rand.NewSource(1))
+	idx := make([]int, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range idx {
+			idx[k] = rng.Intn(shape[k])
+		}
+		if err := tr.AppendCell(1, idx, rng.NormFloat64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPvsTucker compares CP-ALS against HOSVD on the same join
+// tensor (the decomposition-family ablation).
+func BenchmarkCPvsTucker(b *testing.B) {
+	part, ranks := benchPartition(b)
+	j := stitch.Join(part)
+	b.Run("HOSVD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tucker.HOSVD(j, ranks)
+		}
+	})
+	b.Run("CP-ALS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cp.ALS(j, cp.Options{Rank: 3, MaxIterations: 5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

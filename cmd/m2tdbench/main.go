@@ -1,0 +1,249 @@
+// Command m2tdbench regenerates the paper's evaluation tables
+// (Tables II–VIII of Section VII) at configurable scale and prints them in
+// the paper's row/column layout.
+//
+// Usage:
+//
+//	m2tdbench -table all                  # every table at default scale
+//	m2tdbench -table 2 -res 12,16,20 -rank 2,4,6
+//	m2tdbench -table 3 -workers 1,2,4,8,16
+//	m2tdbench -table 5 -res 16
+//
+// Default scale substitutes resolution 60–80 → 12–20 and rank 5/10/20 →
+// 2/4/6 (see DESIGN.md); pass larger -res/-time/-rank values to approach
+// paper scale, memory permitting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "table to regenerate: 1..8, fig6, noise, ranks, extended, pivotselect, or 'all'")
+		res     = flag.String("res", "", "comma-separated resolutions (table 2) or single base resolution")
+		timeS   = flag.Int("time", 0, "time-mode size (defaults to the resolution)")
+		rank    = flag.String("rank", "", "comma-separated ranks (table 2) or single base rank")
+		workers = flag.String("workers", "", "comma-separated worker counts (table 3)")
+		seed    = flag.Int64("seed", eval.DefaultSeed, "sampling seed")
+		seeds   = flag.Int("seeds", 0, "run a multi-seed sweep of the base configuration with this many seeds instead of a table")
+		csvOut  = flag.String("csv", "", "also export comparison rows as CSV to this file (tables 2 and 4)")
+		estim   = flag.Int("estimate", 0, "paper-scale mode: factored core + this many sampled accuracy fibers (required beyond res ≈24)")
+	)
+	flag.Parse()
+
+	base := eval.Config{}
+	singleRes := firstInt(*res)
+	if singleRes > 0 {
+		base = eval.DefaultConfig("double-pendulum")
+		base.Res = singleRes
+		base.TimeSamples = singleRes
+		if *timeS > 0 {
+			base.TimeSamples = *timeS
+		}
+		if r := firstInt(*rank); r > 0 {
+			base.Rank = r
+		}
+		base.Seed = *seed
+		base.EstimateSims = *estim
+	}
+
+	if *seeds > 0 {
+		if err := runSeeds(base, *seeds); err != nil {
+			fmt.Fprintln(os.Stderr, "m2tdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tables := strings.Split(*table, ",")
+	if *table == "all" {
+		tables = []string{"1", "2", "3", "4", "5", "6", "7", "8", "fig6"}
+	}
+	for i, tb := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := run(os.Stdout, tb, base, *res, *rank, *workers, *csvOut); err != nil {
+			fmt.Fprintf(os.Stderr, "m2tdbench: table %s: %v\n", tb, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[table %s regenerated in %v]\n", tb, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runSeeds executes the multi-seed sweep of the base configuration.
+func runSeeds(base eval.Config, n int) error {
+	if base.Res == 0 {
+		base = eval.DefaultConfig("double-pendulum")
+	}
+	seedList := make([]int64, n)
+	for i := range seedList {
+		seedList[i] = base.Seed + int64(i)
+	}
+	sweep, err := eval.RunSeeds(base, seedList)
+	if err != nil {
+		return err
+	}
+	eval.RenderSeedSweep(os.Stdout, sweep)
+	return nil
+}
+
+// exportCSV appends comparison rows to the CSV file when requested.
+func exportCSV(path string, cmps []*eval.Comparison) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return eval.ExportComparisonsCSV(f, cmps)
+}
+
+func run(out io.Writer, table string, base eval.Config, res, rank, workers, csvOut string) error {
+	switch table {
+	case "1":
+		rows, err := eval.Table1(nil, ints(res))
+		if err != nil {
+			return err
+		}
+		eval.RenderTable1(out, rows)
+	case "fig6":
+		rows, err := eval.Fig6(base, nil)
+		if err != nil {
+			return err
+		}
+		eval.RenderFig6(out, rows)
+	case "noise":
+		if base.Res == 0 {
+			base = eval.DefaultConfig("double-pendulum")
+		}
+		rows, err := eval.NoiseSweep(base, nil)
+		if err != nil {
+			return err
+		}
+		eval.RenderNoiseSweep(out, rows)
+	case "ranks":
+		rows, err := eval.RankSweep(base, ints(rank))
+		if err != nil {
+			return err
+		}
+		eval.RenderRankSweep(out, rows)
+	case "pivotselect":
+		system := "double-pendulum"
+		if base.System != "" {
+			system = base.System
+		}
+		pilotRes := 8
+		if base.Res != 0 && base.Res < pilotRes {
+			pilotRes = base.Res
+		}
+		rank := eval.DefaultRank
+		if base.Rank != 0 {
+			rank = base.Rank
+		}
+		scores, err := eval.SelectPivot(system, pilotRes, rank, 200, eval.DefaultSeed)
+		if err != nil {
+			return err
+		}
+		eval.RenderPivotScores(out, system, scores)
+	case "extended":
+		if base.Res == 0 {
+			base = eval.DefaultConfig("double-pendulum")
+		}
+		cmp, err := eval.ExtendedComparison(base)
+		if err != nil {
+			return err
+		}
+		eval.RenderExtended(out, []*eval.Comparison{cmp})
+	case "2":
+		cmps, err := eval.Table2(base, ints(res), ints(rank))
+		if err != nil {
+			return err
+		}
+		eval.RenderTable2(out, cmps)
+		if err := exportCSV(csvOut, cmps); err != nil {
+			return err
+		}
+	case "3":
+		rows, err := eval.Table3(base, ints(workers))
+		if err != nil {
+			return err
+		}
+		eval.RenderTable3(out, rows)
+	case "4":
+		cmps, err := eval.Table4(base, nil)
+		if err != nil {
+			return err
+		}
+		eval.RenderTable4(out, cmps)
+		if err := exportCSV(csvOut, cmps); err != nil {
+			return err
+		}
+	case "5":
+		rows, err := eval.Table5(base, nil)
+		if err != nil {
+			return err
+		}
+		eval.RenderTable5(out, rows)
+	case "6":
+		rows, err := eval.Table6(base, nil)
+		if err != nil {
+			return err
+		}
+		eval.RenderTable6(out, rows)
+	case "7":
+		rows, err := eval.Table7(base, nil)
+		if err != nil {
+			return err
+		}
+		eval.RenderTable7(out, rows)
+	case "8":
+		rows, err := eval.Table8(base, nil)
+		if err != nil {
+			return err
+		}
+		eval.RenderTable8(out, rows)
+	default:
+		return fmt.Errorf("unknown table %q (want 1..8, fig6, noise, ranks, extended, pivotselect, or all)", table)
+	}
+	return nil
+}
+
+// ints parses a comma-separated integer list; empty input yields nil
+// (which selects each table's default sweep).
+func ints(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m2tdbench: bad integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// firstInt returns the first integer of a comma-separated list, or 0.
+func firstInt(s string) int {
+	vs := ints(s)
+	if len(vs) == 0 {
+		return 0
+	}
+	return vs[0]
+}

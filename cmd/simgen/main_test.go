@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/dynsys"
+)
+
+func TestDumpTrajectoryCSV(t *testing.T) {
+	sys := dynsys.NewLorenz()
+	var b strings.Builder
+	if err := dumpTrajectory(&b, sys, "", 3, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3 samples", len(lines))
+	}
+	if lines[0] != "sample,state0,state1,state2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestDumpTrajectoryJSON(t *testing.T) {
+	sys := dynsys.NewSEIR()
+	var b strings.Builder
+	if err := dumpTrajectory(&b, sys, "0.3,0.2,0.1,0.01", 2, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["system"] != "seir" {
+		t.Fatalf("system = %v", decoded["system"])
+	}
+	traj, ok := decoded["trajectory"].([]interface{})
+	if !ok || len(traj) != 2 {
+		t.Fatalf("trajectory = %v", decoded["trajectory"])
+	}
+}
+
+func TestDumpTrajectoryErrors(t *testing.T) {
+	sys := dynsys.NewLorenz()
+	var b strings.Builder
+	if err := dumpTrajectory(&b, sys, "1,2", 2, "csv"); err == nil {
+		t.Fatal("wrong parameter count accepted")
+	}
+	if err := dumpTrajectory(&b, sys, "a,b,c,d", 2, "csv"); err == nil {
+		t.Fatal("non-numeric parameters accepted")
+	}
+	if err := dumpTrajectory(&b, sys, "", 2, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestDumpEnsembleCSV(t *testing.T) {
+	sys := dynsys.NewDoublePendulum()
+	var b strings.Builder
+	if err := dumpEnsemble(&b, sys, "grid", 16, 4, 2, 1, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// header + 16 sims × 2 timestamps
+	if len(lines) != 1+32 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "phi1,phi2,m1,m2,t,value") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestDumpEnsembleJSON(t *testing.T) {
+	sys := dynsys.NewLorenz()
+	var b strings.Builder
+	if err := dumpEnsemble(&b, sys, "random", 5, 4, 2, 1, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["numSims"].(float64) != 5 {
+		t.Fatalf("numSims = %v", decoded["numSims"])
+	}
+}
+
+func TestDumpEnsembleErrors(t *testing.T) {
+	sys := dynsys.NewLorenz()
+	var b strings.Builder
+	if err := dumpEnsemble(&b, sys, "bogus", 5, 4, 2, 1, "csv"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := dumpEnsemble(&b, sys, "random", 5, 4, 2, 1, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,291 @@
+// Command tensorstore manages an on-disk catalog of ensemble tensors and
+// Tucker decompositions (the block-based store of internal/store).
+//
+// Usage:
+//
+//	tensorstore -dir ./tensors put -name ens -system lorenz -res 8 -budget 100
+//	tensorstore -dir ./tensors ls
+//	tensorstore -dir ./tensors info -name ens
+//	tensorstore -dir ./tensors decompose -name ens -rank 3 -out ens-dec
+//	tensorstore -dir ./tensors dump -name ens | head
+//	tensorstore -dir ./tensors rm -name ens
+//	tensorstore -dir ./tensors import -name x -shape 4,4,4 < cells.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dynsys"
+	"repro/internal/ensemble"
+	"repro/internal/store"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+func main() {
+	dir := flag.String("dir", "./tensors", "store directory")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "put":
+		err = put(st, rest)
+	case "import":
+		err = importCmd(st, rest, os.Stdin)
+	case "ls":
+		err = ls(st)
+	case "info":
+		err = info(st, rest)
+	case "dump":
+		err = dump(st, rest)
+	case "decompose":
+		err = decompose(st, rest)
+	case "rm":
+		err = rm(st, rest)
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tensorstore [-dir DIR] {put|import|ls|info|dump|decompose|rm} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tensorstore:", err)
+	os.Exit(1)
+}
+
+func put(st *store.Store, args []string) error {
+	fs := flag.NewFlagSet("put", flag.ExitOnError)
+	name := fs.String("name", "", "object name (required)")
+	system := fs.String("system", "double-pendulum", "dynamical system")
+	res := fs.Int("res", 8, "grid resolution per parameter")
+	samples := fs.Int("samples", 8, "time samples")
+	scheme := fs.String("scheme", "random", "sampling scheme: random, grid, slice")
+	budget := fs.Int("budget", 64, "simulation budget")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("put: -name is required")
+	}
+	sys, err := dynsys.ByName(*system)
+	if err != nil {
+		return err
+	}
+	space := ensemble.NewSpace(sys, *res, *samples)
+	rng := rand.New(rand.NewSource(*seed))
+	var sims []ensemble.Sim
+	switch *scheme {
+	case "random":
+		sims = ensemble.RandomSample(space, *budget, rng)
+	case "grid":
+		sims = ensemble.GridSample(space, *budget)
+	case "slice":
+		sims = ensemble.SliceSample(space, *budget, rng)
+	default:
+		return fmt.Errorf("put: unknown scheme %q", *scheme)
+	}
+	se := ensemble.Encode(space, sims)
+	if err := st.SaveSparse(*name, se.Tensor); err != nil {
+		return err
+	}
+	fmt.Printf("stored %q: %s ensemble, %d sims, %d cells\n", *name, *system, se.NumSims, se.Tensor.NNZ())
+	return nil
+}
+
+func ls(st *store.Store) error {
+	names, err := st.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func info(st *store.Store, args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	name := fs.String("name", "", "object name (required)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("info: -name is required")
+	}
+	if t, err := st.LoadSparse(*name); err == nil {
+		fmt.Printf("%s: sparse tensor, shape %v, %d cells, density %.3g, norm %.6g\n",
+			*name, t.Shape, t.NNZ(), t.Density(), t.Norm())
+		return nil
+	}
+	if t, err := st.LoadDense(*name); err == nil {
+		fmt.Printf("%s: dense tensor, shape %v, norm %.6g\n", *name, t.Shape, t.Norm())
+		return nil
+	}
+	if d, err := st.LoadDecomposition(*name); err == nil {
+		fmt.Printf("%s: Tucker decomposition, core shape %v, ranks %v\n", *name, d.Core.Shape, d.Ranks)
+		return nil
+	}
+	return fmt.Errorf("info: cannot read %q as any known kind", *name)
+}
+
+func dump(st *store.Store, args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	name := fs.String("name", "", "object name (required)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("dump: -name is required")
+	}
+	t, err := st.LoadSparse(*name)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(os.Stdout)
+	header := make([]string, t.Order()+1)
+	for i := range header[:t.Order()] {
+		header[i] = fmt.Sprintf("mode%d", i)
+	}
+	header[t.Order()] = "value"
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	var werr error
+	t.Each(func(idx []int, v float64) {
+		if werr != nil {
+			return
+		}
+		row := make([]string, 0, len(idx)+1)
+		for _, i := range idx {
+			row = append(row, strconv.Itoa(i))
+		}
+		row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		werr = w.Write(row)
+	})
+	if werr != nil {
+		return werr
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func decompose(st *store.Store, args []string) error {
+	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
+	name := fs.String("name", "", "input sparse tensor (required)")
+	out := fs.String("out", "", "output decomposition name (required)")
+	rank := fs.Int("rank", 3, "uniform target rank")
+	hooi := fs.Bool("hooi", false, "refine with HOOI iterations")
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		return fmt.Errorf("decompose: -name and -out are required")
+	}
+	t, err := st.LoadSparse(*name)
+	if err != nil {
+		return err
+	}
+	ranks := tucker.UniformRanks(t.Order(), *rank)
+	var dec tucker.Decomposition
+	if *hooi {
+		dec = tucker.HOOI(t, ranks, tucker.HOOIOptions{})
+	} else {
+		dec = tucker.HOSVD(t, ranks)
+	}
+	if err := st.SaveDecomposition(*out, dec); err != nil {
+		return err
+	}
+	fit, err := tucker.FitOf(dec, t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored %q: ranks %v, fit %.6f\n", *out, dec.Ranks, fit)
+	return nil
+}
+
+func rm(st *store.Store, args []string) error {
+	fs := flag.NewFlagSet("rm", flag.ExitOnError)
+	name := fs.String("name", "", "object name (required)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("rm: -name is required")
+	}
+	return st.Delete(*name)
+}
+
+// importCmd reads CSV rows of "idx0,idx1,…,value" (an optional header row
+// is skipped) from r and stores them as a sparse tensor with the given
+// shape — the inverse of dump.
+func importCmd(st *store.Store, args []string, r io.Reader) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	name := fs.String("name", "", "object name (required)")
+	shapeArg := fs.String("shape", "", "comma-separated mode sizes (required)")
+	fs.Parse(args)
+	if *name == "" || *shapeArg == "" {
+		return fmt.Errorf("import: -name and -shape are required")
+	}
+	var shape tensor.Shape
+	for _, part := range strings.Split(*shapeArg, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return fmt.Errorf("import: bad mode size %q", part)
+		}
+		shape = append(shape, d)
+	}
+	t := tensor.NewSparse(shape)
+	cr := csv.NewReader(r)
+	order := shape.Order()
+	idx := make([]int, order)
+	rowNum := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("import: row %d: %v", rowNum+1, err)
+		}
+		rowNum++
+		if len(row) != order+1 {
+			return fmt.Errorf("import: row %d has %d fields, want %d", rowNum, len(row), order+1)
+		}
+		// Skip a header row (non-numeric first field) if present.
+		if _, err := strconv.Atoi(strings.TrimSpace(row[0])); err != nil && rowNum == 1 {
+			continue
+		}
+		for k := 0; k < order; k++ {
+			i, err := strconv.Atoi(strings.TrimSpace(row[k]))
+			if err != nil {
+				return fmt.Errorf("import: row %d field %d: %v", rowNum, k, err)
+			}
+			if i < 0 || i >= shape[k] {
+				return fmt.Errorf("import: row %d index %d out of range for mode %d", rowNum, i, k)
+			}
+			idx[k] = i
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(row[order]), 64)
+		if err != nil {
+			return fmt.Errorf("import: row %d value: %v", rowNum, err)
+		}
+		t.Append(idx, v)
+	}
+	if err := st.SaveSparse(*name, t); err != nil {
+		return err
+	}
+	fmt.Printf("stored %q: shape %v, %d cells\n", *name, shape, t.NNZ())
+	return nil
+}

@@ -1,0 +1,144 @@
+package m2td
+
+// Integration tests exercising flows that cross module boundaries:
+// pipeline → store → reload, CP vs Tucker on real ensemble tensors, and
+// HOOI refinement of conventionally sampled ensembles.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cp"
+	"repro/internal/ensemble"
+	"repro/internal/eval"
+	"repro/internal/store"
+	"repro/internal/tucker"
+)
+
+func TestPipelinePersistsAndReloads(t *testing.T) {
+	// Run the pipeline, persist the join tensor and its decomposition in
+	// the block store, reload both, and verify the reconstruction is
+	// unchanged.
+	report, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSparse("join", report.Decomposition.Join); err != nil {
+		t.Fatal(err)
+	}
+	dec := tucker.Decomposition{
+		Core:    report.Decomposition.Core,
+		Factors: report.Decomposition.Factors,
+		Ranks:   make([]int, len(report.Decomposition.Factors)),
+	}
+	for i, f := range dec.Factors {
+		dec.Ranks[i] = f.Cols
+	}
+	if err := st.SaveDecomposition("dec", dec); err != nil {
+		t.Fatal(err)
+	}
+
+	join, err := st.LoadSparse("join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.NNZ() != report.JoinCells {
+		t.Fatalf("reloaded join NNZ %d != %d", join.NNZ(), report.JoinCells)
+	}
+	reloaded, err := st.LoadDecomposition("dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded.Reconstruct().Equal(report.Decomposition.Reconstruct(), 1e-12) {
+		t.Fatal("reconstruction changed across store roundtrip")
+	}
+}
+
+func TestCPOnEnsembleTensor(t *testing.T) {
+	// CP-ALS on a real (conventionally sampled) ensemble tensor: the fit
+	// must improve with rank and the reconstruction must correlate with
+	// the sampled cells.
+	space, err := eval.SpaceFor("double-pendulum", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	se := ensemble.Encode(space, ensemble.RandomSample(space, 60, rng))
+
+	var prevFit = math.Inf(-1)
+	for _, r := range []int{1, 3} {
+		dec, err := cp.ALS(se.Tensor, cp.Options{Rank: r, MaxIterations: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Fit < prevFit-0.05 {
+			t.Fatalf("CP fit degraded with rank: %v -> %v", prevFit, dec.Fit)
+		}
+		prevFit = dec.Fit
+	}
+	if prevFit <= 0 {
+		t.Fatalf("CP fit %v on ensemble tensor", prevFit)
+	}
+}
+
+func TestHOOIRefinesEnsembleDecomposition(t *testing.T) {
+	// HOOI must never be worse than HOSVD on the sampled ensemble itself
+	// (measured against the sampled tensor, where the fit identity holds).
+	space, err := eval.SpaceFor("lorenz", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	se := ensemble.Encode(space, ensemble.RandomSample(space, 80, rng))
+	ranks := tucker.UniformRanks(space.Order(), 2)
+
+	hosvd := tucker.HOSVD(se.Tensor, ranks)
+	hooi := tucker.HOOI(se.Tensor, ranks, tucker.HOOIOptions{MaxIterations: 8})
+	fitHOSVD, err := tucker.FitOf(hosvd, se.Tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitHOOI, err := tucker.FitOf(hooi, se.Tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitHOOI < fitHOSVD-1e-9 {
+		t.Fatalf("HOOI fit %v worse than HOSVD %v", fitHOOI, fitHOSVD)
+	}
+}
+
+func TestFacadeMatchesEvalComparison(t *testing.T) {
+	// The facade's Run/Baseline must agree with the eval harness's
+	// RunComparison on the same configuration and seeds.
+	cfg := smallConfig()
+	evalCfg := eval.Config{
+		System:      cfg.System,
+		Res:         cfg.Resolution,
+		TimeSamples: cfg.TimeSamples,
+		Rank:        cfg.Rank,
+		Pivot:       4,
+		PivotFrac:   1,
+		FreeFrac:    1,
+		Seed:        cfg.Seed,
+	}
+	cmp, err := eval.RunComparison(evalCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := cmp.Get(eval.SchemeSELECT)
+	if math.Abs(report.Accuracy-want.Accuracy) > 1e-9 {
+		t.Fatalf("facade accuracy %v != eval harness %v", report.Accuracy, want.Accuracy)
+	}
+	if report.NumSims != want.NumSims {
+		t.Fatalf("facade sims %d != eval %d", report.NumSims, want.NumSims)
+	}
+}

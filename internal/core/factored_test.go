@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dynsys"
+	"repro/internal/ensemble"
+	"repro/internal/partition"
+	"repro/internal/tucker"
+)
+
+func TestFactoredMatchesJoinBased(t *testing.T) {
+	// The factored core must equal the join-materialising core exactly,
+	// for every fusion method, at full density.
+	p := tinyPartition(t, 1, 180)
+	ranks := tucker.UniformRanks(5, 3)
+	for _, m := range Methods() {
+		ref, err := Decompose(p, Options{Method: m, Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fac, err := DecomposeFactored(p, Options{Method: m, Ranks: ranks})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if fac.Join != nil {
+			t.Fatalf("%s: factored result materialised a join tensor", m)
+		}
+		if !fac.Core.Equal(ref.Core, 1e-8) {
+			t.Fatalf("%s: factored core differs from join-based core", m)
+		}
+		for mode := range ref.Factors {
+			if !fac.Factors[mode].Equal(ref.Factors[mode], 1e-12) {
+				t.Fatalf("%s: factor %d differs", m, mode)
+			}
+		}
+	}
+}
+
+func TestFactoredMatchesJoinBasedReducedDensity(t *testing.T) {
+	// Product structure also holds at E < 1 (partition.Generate samples
+	// one shared free set per side), so the factorisation stays exact.
+	p := tinyPartition(t, 0.4, 181)
+	ranks := tucker.UniformRanks(5, 2)
+	ref, err := Decompose(p, Options{Method: SELECT, Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := DecomposeFactored(p, Options{Method: SELECT, Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fac.Core.Equal(ref.Core, 1e-8) {
+		t.Fatal("factored core differs at reduced density")
+	}
+}
+
+func TestFactoredZeroJoinMatches(t *testing.T) {
+	p := tinyPartition(t, 0.4, 182)
+	ranks := tucker.UniformRanks(5, 2)
+	ref, err := Decompose(p, Options{Method: CONCAT, Ranks: ranks, ZeroJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := DecomposeFactored(p, Options{Method: CONCAT, Ranks: ranks, ZeroJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fac.Core.Equal(ref.Core, 1e-8) {
+		t.Fatal("factored zero-join core differs from materialised zero-join core")
+	}
+}
+
+func TestFactoredMultiPivot(t *testing.T) {
+	space := ensemble.NewSpace(dynsys.NewDoublePendulum(), 5, 4)
+	cfg := partition.Config{
+		Pivots:    []int{4, 0},
+		Free1:     []int{1, 3},
+		Free2:     []int{2},
+		PivotFrac: 1,
+		FreeFrac:  1,
+	}
+	p, err := partition.Generate(space, cfg, rand.New(rand.NewSource(183)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := tucker.UniformRanks(5, 2)
+	ref, err := Decompose(p, Options{Method: AVG, Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := DecomposeFactored(p, Options{Method: AVG, Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fac.Core.Equal(ref.Core, 1e-8) {
+		t.Fatal("factored core differs for k=2 pivots")
+	}
+}
+
+func TestFactoredValidation(t *testing.T) {
+	p := tinyPartition(t, 1, 184)
+	if _, err := DecomposeFactored(p, Options{Method: "nope", Ranks: tucker.UniformRanks(5, 2)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := DecomposeFactored(p, Options{Method: AVG, Ranks: []int{1}}); err == nil {
+		t.Fatal("bad rank count accepted")
+	}
+	// Broken product structure: drop one cell.
+	broken := &partition.Result{
+		Space:        p.Space,
+		Config:       p.Config,
+		PivotConfigs: p.PivotConfigs,
+		Free1Configs: p.Free1Configs,
+		Free2Configs: p.Free2Configs,
+		Sub1: &partition.SubEnsemble{
+			Modes:     p.Sub1.Modes,
+			NumPivots: p.Sub1.NumPivots,
+			Tensor:    p.Sub1.Tensor.Clone(),
+		},
+		Sub2: p.Sub2,
+	}
+	broken.Sub1.Tensor.Idx = broken.Sub1.Tensor.Idx[:len(broken.Sub1.Tensor.Idx)-3]
+	broken.Sub1.Tensor.Vals = broken.Sub1.Tensor.Vals[:len(broken.Sub1.Tensor.Vals)-1]
+	if _, err := DecomposeFactored(broken, Options{Method: AVG, Ranks: tucker.UniformRanks(5, 2)}); err == nil {
+		t.Fatal("broken product structure accepted")
+	}
+	// Missing config lists.
+	noCfg := *p
+	noCfg.PivotConfigs = nil
+	if _, err := DecomposeFactored(&noCfg, Options{Method: AVG, Ranks: tucker.UniformRanks(5, 2)}); err == nil {
+		t.Fatal("missing config lists accepted")
+	}
+}
+
+func TestFactoredReconstructionAccuracy(t *testing.T) {
+	p := tinyPartition(t, 1, 185)
+	fac, err := DecomposeFactored(p, Options{Method: SELECT, Ranks: tucker.UniformRanks(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := p.Space.GroundTruth()
+	relErr := fac.Reconstruct().Sub(y).Norm() / y.Norm()
+	if relErr >= 1 {
+		t.Fatalf("factored reconstruction relative error %v", relErr)
+	}
+}

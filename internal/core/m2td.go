@@ -1,0 +1,176 @@
+// Package core implements Multi-Task Tensor Decomposition (M2TD), the
+// paper's primary contribution (Section VI): obtaining a Tucker
+// decomposition of the high-order join tensor J directly from cheap HOSVD
+// decompositions of the two low-order PF-partitioned sub-tensors X₁, X₂.
+//
+// Three fusion strategies are provided for the shared pivot-mode factor
+// matrices, matching Algorithms 2–5 of the paper:
+//
+//   - M2TD-AVG (Algorithm 2): element-wise average of the two pivot factor
+//     matrices.
+//   - M2TD-CONCAT (Algorithm 3): leading left singular vectors of the
+//     column-wise concatenation of the two pivot matricizations. Since the
+//     left singular vectors of [A B] are the leading eigenvectors of
+//     A·Aᵀ + B·Bᵀ, the combined factor is computed from the sum of the two
+//     matricization Gram matrices — an exact reformulation that never
+//     materialises the concatenation.
+//   - M2TD-SELECT (Algorithms 4–5): each row of the fused factor is taken
+//     from whichever side gives that row (entity) more energy (2-norm),
+//     preventing low-energy rows from acting as noise.
+//
+// Non-pivot factors come directly from the owning sub-tensor's HOSVD. The
+// core is recovered by projecting the JE-stitched join tensor through the
+// assembled factor matrices: G = J ×₁ U(1)ᵀ ×₂ … ×ₙ U(N)ᵀ.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/partition"
+	"repro/internal/stitch"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Method selects the pivot-factor fusion strategy.
+type Method string
+
+// The three M2TD variants of Section VI.
+const (
+	AVG    Method = "M2TD-AVG"
+	CONCAT Method = "M2TD-CONCAT"
+	SELECT Method = "M2TD-SELECT"
+)
+
+// Methods lists all fusion strategies in paper order.
+func Methods() []Method { return []Method{AVG, CONCAT, SELECT} }
+
+// Options configures a Decompose call.
+type Options struct {
+	// Method is the pivot-factor fusion strategy.
+	Method Method
+	// Ranks holds the per-original-mode target ranks (clipped to mode
+	// sizes).
+	Ranks []int
+	// ZeroJoin selects zero-join JE-stitching for the core-recovery join
+	// tensor (Section V-C.2); plain join otherwise.
+	ZeroJoin bool
+}
+
+// Result is an M2TD decomposition of the join tensor: Tucker factors in
+// original mode order plus the recovered core.
+type Result struct {
+	// Factors holds one factor matrix per original tensor mode.
+	Factors []*mat.Matrix
+	// Core is the recovered core tensor G.
+	Core *tensor.Dense
+	// Join is the JE-stitched tensor the core was recovered from.
+	Join *tensor.Sparse
+
+	// Phase timings (the serial analogue of D-M2TD's three phases).
+	SubDecompTime time.Duration
+	StitchTime    time.Duration
+	CoreTime      time.Duration
+}
+
+// Reconstruct expands the decomposition to the full tensor space:
+// X̃ = G ×₁ U(1) ×₂ … ×ₙ U(N).
+func (r *Result) Reconstruct() *tensor.Dense {
+	return tensor.TuckerReconstruct(r.Core, r.Factors)
+}
+
+// Decompose runs M2TD over a PF-partitioned pair of sub-ensembles.
+func Decompose(p *partition.Result, opts Options) (*Result, error) {
+	switch opts.Method {
+	case AVG, CONCAT, SELECT:
+	default:
+		return nil, fmt.Errorf("core: unknown M2TD method %q", opts.Method)
+	}
+	order := p.Space.Order()
+	if len(opts.Ranks) != order {
+		return nil, fmt.Errorf("core: %d ranks for order-%d space", len(opts.Ranks), order)
+	}
+	ranks := tucker.ClipRanks(p.Space.Shape(), opts.Ranks)
+
+	// Phase 1: decompose the two low-order sub-tensors. Only the factor
+	// matrices are needed; Gram matrices are retained for CONCAT fusion.
+	start := time.Now()
+	factors := buildFactors(p, opts.Method, ranks)
+	subTime := time.Since(start)
+
+	// Phase 2: JE-stitching.
+	start = time.Now()
+	var j *tensor.Sparse
+	if opts.ZeroJoin {
+		j = stitch.ZeroJoin(p)
+	} else {
+		j = stitch.Join(p)
+	}
+	stitchTime := time.Since(start)
+
+	// Phase 3: recover the core through the assembled factors.
+	start = time.Now()
+	coreT := tucker.CoreFromFactors(j, factors)
+	coreTime := time.Since(start)
+
+	return &Result{
+		Factors:       factors,
+		Core:          coreT,
+		Join:          j,
+		SubDecompTime: subTime,
+		StitchTime:    stitchTime,
+		CoreTime:      coreTime,
+	}, nil
+}
+
+// buildFactors runs the sub-tensor decompositions and assembles the fused
+// factor set in original mode order: pivot factors per the fusion method,
+// free factors from the owning sub-tensor's HOSVD.
+func buildFactors(p *partition.Result, method Method, ranks []int) []*mat.Matrix {
+	cfg := p.Config
+	k := len(cfg.Pivots)
+	factors := make([]*mat.Matrix, len(ranks))
+	for i, m := range cfg.Pivots {
+		r := ranks[m]
+		switch method {
+		case AVG:
+			u1 := tensor.LeadingModeVectors(p.Sub1.Tensor, i, r)
+			u2 := tensor.LeadingModeVectors(p.Sub2.Tensor, i, r)
+			factors[m] = mat.Average(u1, u2)
+		case CONCAT:
+			g := mat.Add(tensor.ModeGram(p.Sub1.Tensor, i), tensor.ModeGram(p.Sub2.Tensor, i))
+			factors[m] = mat.LeadingEigenvectors(g, r)
+		case SELECT:
+			u1 := tensor.LeadingModeVectors(p.Sub1.Tensor, i, r)
+			u2 := tensor.LeadingModeVectors(p.Sub2.Tensor, i, r)
+			factors[m] = RowSelect(u1, u2)
+		}
+	}
+	for i, m := range cfg.Free1 {
+		factors[m] = tensor.LeadingModeVectors(p.Sub1.Tensor, k+i, ranks[m])
+	}
+	for i, m := range cfg.Free2 {
+		factors[m] = tensor.LeadingModeVectors(p.Sub2.Tensor, k+i, ranks[m])
+	}
+	return factors
+}
+
+// RowSelect implements Algorithm 5: the fused factor matrix takes each row
+// from whichever input matrix gives it the larger 2-norm (energy), i.e.
+// from the sub-ensemble that represents that entity more strongly.
+func RowSelect(u1, u2 *mat.Matrix) *mat.Matrix {
+	if u1.Rows != u2.Rows || u1.Cols != u2.Cols {
+		panic(fmt.Sprintf("core: RowSelect shape mismatch %d×%d vs %d×%d", u1.Rows, u1.Cols, u2.Rows, u2.Cols))
+	}
+	out := mat.New(u1.Rows, u1.Cols)
+	for i := 0; i < u1.Rows; i++ {
+		if mat.RowNorm(u1, i) >= mat.RowNorm(u2, i) {
+			out.SetRow(i, u1.Row(i))
+		} else {
+			out.SetRow(i, u2.Row(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Loading is one mode entity's weight in a decomposition pattern.
+type Loading struct {
+	// Index is the grid index along the mode (a parameter value or
+	// timestamp).
+	Index int
+	// Weight is the magnitude of the entity's coordinate in the requested
+	// component.
+	Weight float64
+}
+
+// ModeLoadings returns the entities of one tensor mode ranked by the
+// magnitude of their loading in the given component (column) of that
+// mode's factor matrix. This is the post-simulation analysis the paper
+// motivates: the heaviest-loading parameter values are the ones that
+// dominate the corresponding latent pattern of the ensemble.
+func (r *Result) ModeLoadings(mode, component int) ([]Loading, error) {
+	if mode < 0 || mode >= len(r.Factors) {
+		return nil, fmt.Errorf("core: mode %d out of range [0, %d)", mode, len(r.Factors))
+	}
+	f := r.Factors[mode]
+	if component < 0 || component >= f.Cols {
+		return nil, fmt.Errorf("core: component %d out of range [0, %d)", component, f.Cols)
+	}
+	out := make([]Loading, f.Rows)
+	for i := 0; i < f.Rows; i++ {
+		w := f.At(i, component)
+		if w < 0 {
+			w = -w
+		}
+		out[i] = Loading{Index: i, Weight: w}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
+	return out, nil
+}
+
+// ComponentStrengths returns the energy of each core slice along the
+// given mode: out[c] = ‖G(mode = c)‖F, the strength with which the mode's
+// c-th factor component participates in the joint patterns (the role the
+// paper assigns to the core tensor).
+func (r *Result) ComponentStrengths(mode int) ([]float64, error) {
+	if mode < 0 || mode >= r.Core.Shape.Order() {
+		return nil, fmt.Errorf("core: mode %d out of range [0, %d)", mode, r.Core.Shape.Order())
+	}
+	size := r.Core.Shape[mode]
+	out := make([]float64, size)
+	for c := 0; c < size; c++ {
+		out[c] = r.Core.SliceMode(mode, c).Norm()
+	}
+	return out, nil
+}
+
+// EntityEnergy returns, per entity (row) of a mode's factor matrix, the
+// total representation energy — M2TD-SELECT's selection criterion, exposed
+// for analysis.
+func (r *Result) EntityEnergy(mode int) ([]float64, error) {
+	if mode < 0 || mode >= len(r.Factors) {
+		return nil, fmt.Errorf("core: mode %d out of range [0, %d)", mode, len(r.Factors))
+	}
+	f := r.Factors[mode]
+	out := make([]float64, f.Rows)
+	for i := range out {
+		out[i] = mat.RowNorm(f, i)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package cp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func benchTensor(b *testing.B) *tensor.Sparse {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	shape := tensor.Shape{16, 16, 16}
+	d := tensor.NewDense(shape)
+	for i := range d.Data {
+		if rng.Float64() < 0.2 {
+			d.Data[i] = rng.NormFloat64()
+		}
+	}
+	return d.ToSparse(0)
+}
+
+func BenchmarkMTTKRP(b *testing.B) {
+	x := benchTensor(b)
+	rng := rand.New(rand.NewSource(2))
+	factors := []*mat.Matrix{
+		mat.Random(rng, 16, 5),
+		mat.Random(rng, 16, 5),
+		mat.Random(rng, 16, 5),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MTTKRP(x, factors, 0)
+	}
+}
+
+func BenchmarkALS(b *testing.B) {
+	x := benchTensor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ALS(x, Options{Rank: 5, MaxIterations: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

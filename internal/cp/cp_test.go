@@ -1,0 +1,239 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// rankOneSparse builds a dense-as-sparse rank-1 tensor λ·a∘b∘c.
+func rankOneSparse(shape tensor.Shape, vecs [][]float64, scale float64) *tensor.Sparse {
+	d := tensor.NewDense(shape)
+	idx := make([]int, len(shape))
+	for lin := range d.Data {
+		shape.MultiIndex(lin, idx)
+		v := scale
+		for n, vec := range vecs {
+			v *= vec[idx[n]]
+		}
+		d.Data[lin] = v
+	}
+	return d.ToSparse(0)
+}
+
+func TestALSRecoversRankOne(t *testing.T) {
+	shape := tensor.Shape{4, 5, 3}
+	vecs := [][]float64{
+		{1, 2, 3, 4},
+		{0.5, 1, 1.5, 2, 2.5},
+		{2, 1, 0.5},
+	}
+	x := rankOneSparse(shape, vecs, 1)
+	dec, err := ALS(x, Options{Rank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fit < 1-1e-8 {
+		t.Fatalf("rank-1 fit = %v, want ~1", dec.Fit)
+	}
+	if err := dec.RelativeError(x.ToDense()); err > 1e-8 {
+		t.Fatalf("rank-1 reconstruction error = %v", err)
+	}
+}
+
+func TestALSRecoversRankTwo(t *testing.T) {
+	// Sum of two well-separated rank-1 terms.
+	shape := tensor.Shape{5, 4, 4}
+	a := rankOneSparse(shape, [][]float64{
+		{1, 0, 0, 1, 0}, {1, 1, 0, 0}, {0, 1, 1, 0},
+	}, 3).ToDense()
+	b := rankOneSparse(shape, [][]float64{
+		{0, 1, 1, 0, 1}, {0, 0, 1, 1}, {1, 0, 0, 1},
+	}, 2).ToDense()
+	x := a.Add(b).ToSparse(0)
+	dec, err := ALS(x, Options{Rank: 2, MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fit < 0.999 {
+		t.Fatalf("rank-2 fit = %v", dec.Fit)
+	}
+}
+
+func TestALSFitImprovesWithRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	shape := tensor.Shape{5, 5, 5}
+	d := tensor.NewDense(shape)
+	for i := range d.Data {
+		d.Data[i] = rng.Float64()
+	}
+	x := d.ToSparse(0)
+	prev := math.Inf(-1)
+	for _, r := range []int{1, 3, 5} {
+		dec, err := ALS(x, Options{Rank: r, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Fit < prev-0.02 {
+			t.Fatalf("fit degraded with rank: %v -> %v at rank %d", prev, dec.Fit, r)
+		}
+		prev = dec.Fit
+	}
+}
+
+func TestALSLambdaSortedAndFactorsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	shape := tensor.Shape{4, 4, 4}
+	d := tensor.NewDense(shape)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	dec, err := ALS(d.ToSparse(0), Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dec.Lambda); i++ {
+		if dec.Lambda[i] > dec.Lambda[i-1]+1e-12 {
+			t.Fatalf("lambda not sorted: %v", dec.Lambda)
+		}
+	}
+	for n, f := range dec.Factors {
+		for c := 0; c < f.Cols; c++ {
+			norm := mat.ColNorm(f, c)
+			if math.Abs(norm-1) > 1e-9 && norm != 0 {
+				t.Fatalf("factor %d column %d norm %v", n, c, norm)
+			}
+		}
+	}
+}
+
+func TestALSInvalidOptions(t *testing.T) {
+	x := tensor.NewSparse(tensor.Shape{2, 2})
+	if _, err := ALS(x, Options{Rank: 0}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	one := tensor.NewSparse(tensor.Shape{3})
+	if _, err := ALS(one, Options{Rank: 1}); err == nil {
+		t.Fatal("order-1 tensor accepted")
+	}
+}
+
+func TestALSEmptyTensor(t *testing.T) {
+	x := tensor.NewSparse(tensor.Shape{3, 3})
+	dec, err := ALS(x, Options{Rank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fit != 1 {
+		t.Fatalf("empty tensor fit = %v, want 1", dec.Fit)
+	}
+}
+
+func TestALSDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	shape := tensor.Shape{4, 3, 3}
+	d := tensor.NewDense(shape)
+	for i := range d.Data {
+		d.Data[i] = rng.Float64()
+	}
+	x := d.ToSparse(0)
+	a, _ := ALS(x, Options{Rank: 2, Seed: 9})
+	b, _ := ALS(x, Options{Rank: 2, Seed: 9})
+	if a.Fit != b.Fit {
+		t.Fatal("same seed, different fits")
+	}
+}
+
+func TestMTTKRPMatchesDense(t *testing.T) {
+	// MTTKRP via sparse coordinates must equal X(n)·(⊙_{k≠n} U(k))
+	// computed densely. For a 3-mode tensor and mode 0, the Khatri–Rao
+	// ordering must match the matricization column convention (first
+	// non-n mode varies fastest), i.e. KhatriRao(U3, U2)... our
+	// matricization has mode 1 fastest, so columns pair as U(2) ⊙ U(1)
+	// with row index i1 + i2·I1 — build it accordingly.
+	rng := rand.New(rand.NewSource(133))
+	shape := tensor.Shape{3, 4, 2}
+	d := tensor.NewDense(shape)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	x := d.ToSparse(0)
+	r := 3
+	factors := []*mat.Matrix{
+		mat.Random(rng, 3, r),
+		mat.Random(rng, 4, r),
+		mat.Random(rng, 2, r),
+	}
+	got := MTTKRP(x, factors, 0)
+
+	// Dense reference: X(0) has columns indexed by i1 + i2·I1; the row of
+	// the Khatri-Rao factor for that column is U1(i1,:)*U2(i2,:), which is
+	// KhatriRao(U2, U1) at row i2*I1 + i1.
+	x0 := tensor.Matricize(d, 0)
+	kr := mat.KhatriRao(factors[2], factors[1]) // row = i2·I1? verify below
+	want := mat.New(3, r)
+	for i := 0; i < 3; i++ {
+		for col := 0; col < x0.Cols; col++ {
+			v := x0.At(i, col)
+			if v == 0 {
+				continue
+			}
+			i1 := col % 4
+			i2 := col / 4
+			krRow := kr.Row(i2*4 + i1)
+			for c := 0; c < r; c++ {
+				want.Set(i, c, want.At(i, c)+v*krRow[c])
+			}
+		}
+	}
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("MTTKRP disagrees with dense Khatri-Rao reference")
+	}
+}
+
+func TestKhatriRaoShapeAndValues(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := mat.FromRows([][]float64{{5, 6}, {7, 8}, {9, 10}})
+	kr := mat.KhatriRao(a, b)
+	if kr.Rows != 6 || kr.Cols != 2 {
+		t.Fatalf("KhatriRao dims %d×%d", kr.Rows, kr.Cols)
+	}
+	// Row (i=1, j=2) = a.Row(1) * b.Row(2) element-wise = (27, 40).
+	row := kr.Row(1*3 + 2)
+	if row[0] != 27 || row[1] != 40 {
+		t.Fatalf("KhatriRao row = %v", row)
+	}
+}
+
+func TestPseudoInverseSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	a := mat.RandomSPD(rng, 5)
+	pinv := mat.PseudoInverseSym(a, 1e-12)
+	if !mat.Mul(a, pinv).Equal(mat.Identity(5), 1e-8) {
+		t.Fatal("pinv of SPD matrix is not its inverse")
+	}
+	// Singular case: pinv satisfies a·pinv·a = a.
+	sing := mat.FromRows([][]float64{{1, 1}, {1, 1}})
+	p := mat.PseudoInverseSym(sing, 1e-12)
+	if !mat.Mul(mat.Mul(sing, p), sing).Equal(sing, 1e-9) {
+		t.Fatal("a·pinv·a != a for singular symmetric matrix")
+	}
+}
+
+func TestPseudoInverseGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	a := mat.Random(rng, 5, 3)
+	p := mat.PseudoInverse(a, 1e-12)
+	if p.Rows != 3 || p.Cols != 5 {
+		t.Fatalf("pinv dims %d×%d", p.Rows, p.Cols)
+	}
+	if !mat.Mul(mat.Mul(a, p), a).Equal(a, 1e-8) {
+		t.Fatal("a·pinv·a != a")
+	}
+	if !mat.Mul(mat.Mul(p, a), p).Equal(p, 1e-8) {
+		t.Fatal("pinv·a·pinv != pinv")
+	}
+}

@@ -1,0 +1,208 @@
+// Package dist implements D-M2TD, the paper's 3-phase distributed
+// formulation of Multi-Task Tensor Decomposition (Algorithm 6 /
+// Section VI-D), on the in-process MapReduce engine:
+//
+//   - Phase 1 — parallel sub-tensor decomposition: sub-ensemble cells are
+//     shuffled by sub-tensor id κ ∈ {1, 2}; the reducer for each κ
+//     assembles its sub-tensor and computes the per-mode factor matrices
+//     (and matricization Gram matrices, needed for CONCAT fusion).
+//   - Phase 2 — parallel JE-stitching: cells from both sub-tensors are
+//     shuffled by their shared pivot configuration; each reducer joins (or
+//     zero-joins) its pivot group and emits the corresponding join-tensor
+//     cells.
+//   - Phase 3 — parallel core recovery, in two interchangeable
+//     formulations: the default shards the join tensor's cells across
+//     reducers, each projecting its shard through the factor matrices
+//     (exact, since the core is linear in J's cells); Options.FiberPhase3
+//     selects the paper-literal variant instead, which shuffles cells by
+//     their all-but-mode-0 index so each reducer multiplies one fiber by
+//     U(0)ᵀ. Both compute the identical core (tested).
+//
+// Workers plays the role of the paper's server count.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/mat"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Options configures a distributed decomposition.
+type Options struct {
+	core.Options
+	// Workers is the parallelism of every phase (the paper's server
+	// count). Values below 1 are treated as 1.
+	Workers int
+	// FiberPhase3 selects the paper-literal Phase 3 (join cells shuffled
+	// by all-but-mode-0 index, one reducer per fiber) instead of the
+	// default cell-sharded formulation. Both compute the same core.
+	FiberPhase3 bool
+}
+
+// Result augments the serial M2TD result with per-phase MapReduce
+// statistics (Table III's time split).
+type Result struct {
+	*core.Result
+	Phase1 mapreduce.Stats
+	Phase2 mapreduce.Stats
+	Phase3 mapreduce.Stats
+}
+
+// taggedCell is one sub-ensemble cell labelled with its sub-tensor id.
+type taggedCell struct {
+	kappa int // 1 or 2
+	idx   []int
+	val   float64
+}
+
+// subFactors is Phase 1's per-sub-tensor output.
+type subFactors struct {
+	kappa   int
+	factors []*mat.Matrix // per sub-mode, rank-truncated
+	grams   []*mat.Matrix // per sub-mode matricization Gram
+}
+
+// Decompose runs D-M2TD over a PF-partitioned pair of sub-ensembles,
+// producing the same decomposition as core.Decompose (up to floating-point
+// summation order in Phase 3).
+func Decompose(p *partition.Result, opts Options) (*Result, error) {
+	switch opts.Method {
+	case core.AVG, core.CONCAT, core.SELECT:
+	default:
+		return nil, fmt.Errorf("dist: unknown M2TD method %q", opts.Method)
+	}
+	if len(opts.Ranks) != p.Space.Order() {
+		return nil, fmt.Errorf("dist: %d ranks for order-%d space", len(opts.Ranks), p.Space.Order())
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	ranks := tucker.ClipRanks(p.Space.Shape(), opts.Ranks)
+	cfg := p.Config
+	k := len(cfg.Pivots)
+
+	cells := collectCells(p)
+
+	// ---- Phase 1: parallel sub-tensor decomposition ----
+	subs := map[int]*partition.SubEnsemble{1: p.Sub1, 2: p.Sub2}
+	subRanks := func(kappa int) []int {
+		sub := subs[kappa]
+		rs := make([]int, len(sub.Modes))
+		for i, m := range sub.Modes {
+			rs[i] = ranks[m]
+		}
+		return rs
+	}
+	phase1 := &mapreduce.Job[taggedCell, int, taggedCell, subFactors]{
+		Map: func(c taggedCell, emit func(int, taggedCell)) {
+			emit(c.kappa, c)
+		},
+		Reduce: func(kappa int, cs []taggedCell, emit func(subFactors)) {
+			sub := subs[kappa]
+			x := tensor.NewSparse(sub.Tensor.Shape)
+			sortCells(cs)
+			for _, c := range cs {
+				x.Append(c.idx, c.val)
+			}
+			rs := subRanks(kappa)
+			out := subFactors{kappa: kappa}
+			for n := 0; n < x.Order(); n++ {
+				g := tensor.ModeGram(x, n)
+				out.grams = append(out.grams, g)
+				out.factors = append(out.factors, mat.LeadingEigenvectors(g, rs[n]))
+			}
+			emit(out)
+		},
+		Workers: workers,
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	p1out, p1stats := phase1.Run(cells)
+	byKappa := map[int]subFactors{}
+	for _, sf := range p1out {
+		byKappa[sf.kappa] = sf
+	}
+
+	// Fuse pivot factors and collect free factors (driver-side: tiny
+	// matrices only).
+	factors := make([]*mat.Matrix, p.Space.Order())
+	for i, m := range cfg.Pivots {
+		switch opts.Method {
+		case core.AVG:
+			factors[m] = mat.Average(byKappa[1].factors[i], byKappa[2].factors[i])
+		case core.CONCAT:
+			g := mat.Add(byKappa[1].grams[i], byKappa[2].grams[i])
+			factors[m] = mat.LeadingEigenvectors(g, ranks[m])
+		case core.SELECT:
+			factors[m] = core.RowSelect(byKappa[1].factors[i], byKappa[2].factors[i])
+		}
+	}
+	for i, m := range cfg.Free1 {
+		factors[m] = byKappa[1].factors[k+i]
+	}
+	for i, m := range cfg.Free2 {
+		factors[m] = byKappa[2].factors[k+i]
+	}
+
+	// ---- Phase 2: parallel JE-stitching ----
+	j, p2stats := stitchPhase(p, cells, workers, opts.ZeroJoin)
+
+	// ---- Phase 3: parallel core recovery ----
+	var coreT *tensor.Dense
+	var p3stats mapreduce.Stats
+	if opts.FiberPhase3 {
+		coreT, p3stats = corePhaseFiber(j, factors, workers)
+	} else {
+		coreT, p3stats = corePhase(j, factors, workers)
+	}
+
+	return &Result{
+		Result: &core.Result{
+			Factors:       factors,
+			Core:          coreT,
+			Join:          j,
+			SubDecompTime: p1stats.Total(),
+			StitchTime:    p2stats.Total(),
+			CoreTime:      p3stats.Total(),
+		},
+		Phase1: p1stats,
+		Phase2: p2stats,
+		Phase3: p3stats,
+	}, nil
+}
+
+// collectCells flattens both sub-ensembles into tagged cell records — the
+// input file of Algorithm 6.
+func collectCells(p *partition.Result) []taggedCell {
+	var cells []taggedCell
+	p.Sub1.Tensor.Each(func(idx []int, v float64) {
+		cells = append(cells, taggedCell{kappa: 1, idx: append([]int(nil), idx...), val: v})
+	})
+	p.Sub2.Tensor.Each(func(idx []int, v float64) {
+		cells = append(cells, taggedCell{kappa: 2, idx: append([]int(nil), idx...), val: v})
+	})
+	return cells
+}
+
+// sortCells orders cells by (kappa, lexicographic index) so reducers are
+// deterministic regardless of worker count.
+func sortCells(cs []taggedCell) {
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].kappa != cs[b].kappa {
+			return cs[a].kappa < cs[b].kappa
+		}
+		ia, ib := cs[a].idx, cs[b].idx
+		for i := range ia {
+			if ia[i] != ib[i] {
+				return ia[i] < ib[i]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"repro/internal/mapreduce"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// corePhaseFiber is the paper-literal Phase 3 (Algorithm 6): for the first
+// mode product, join-tensor cells are shuffled by their
+// all-but-mode-0 index; each reducer receives one mode-0 fiber
+// J(·, p₂, …, p_M) and multiplies it by U(0)ᵀ, emitting the cells of
+// Y = J ×₀ U(0)ᵀ. The remaining (much smaller) mode products run densely
+// on the driver, as the paper's cost analysis assumes — the first product
+// dominates because it touches every cell of J.
+//
+// corePhase (cells sharded, partial cores summed) computes the identical
+// result with better balance; this variant exists to mirror the paper's
+// pseudocode and is selected with Options.FiberPhase3.
+func corePhaseFiber(j *tensor.Sparse, factors []*mat.Matrix, workers int) (*tensor.Dense, mapreduce.Stats) {
+	order := j.Order()
+	u0t := mat.Transpose(factors[0])
+
+	// Output shape after the first product.
+	midShape := j.Shape.Clone()
+	midShape[0] = u0t.Rows
+
+	type fiberCell struct {
+		i0  int
+		val float64
+	}
+	type outCell struct {
+		idx []int
+		val float64
+	}
+	type input struct {
+		idx []int
+		val float64
+	}
+	var cells []input
+	j.Each(func(idx []int, v float64) {
+		cells = append(cells, input{idx: append([]int(nil), idx...), val: v})
+	})
+
+	// Key: linearised all-but-mode-0 coordinates.
+	restShape := make(tensor.Shape, order-1)
+	copy(restShape, j.Shape[1:])
+	keyOf := func(idx []int) int {
+		key := 0
+		for k := 1; k < order; k++ {
+			key = key*j.Shape[k] + idx[k]
+		}
+		return key
+	}
+
+	job := &mapreduce.Job[input, int, fiberCell, outCell]{
+		Map: func(c input, emit func(int, fiberCell)) {
+			emit(keyOf(c.idx), fiberCell{i0: c.idx[0], val: c.val})
+		},
+		Reduce: func(key int, fiber []fiberCell, emit func(outCell)) {
+			// Reconstruct the shared coordinates from the key.
+			rest := make([]int, order-1)
+			rem := key
+			for k := order - 2; k >= 0; k-- {
+				rest[k] = rem % restShape[k]
+				rem /= restShape[k]
+			}
+			// Multiply the sparse fiber by U(0)ᵀ.
+			for r := 0; r < u0t.Rows; r++ {
+				var s float64
+				row := u0t.Row(r)
+				for _, fc := range fiber {
+					s += row[fc.i0] * fc.val
+				}
+				idx := make([]int, order)
+				idx[0] = r
+				copy(idx[1:], rest)
+				emit(outCell{idx: idx, val: s})
+			}
+		},
+		Workers: workers,
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	out, stats := job.Run(cells)
+
+	// Assemble Y densely and finish the remaining mode products on the
+	// driver.
+	y := tensor.NewDense(midShape)
+	for _, c := range out {
+		y.Data[midShape.LinearIndex(c.idx)] = c.val
+	}
+	cur := y
+	for n := 1; n < order; n++ {
+		cur = tensor.TTM(cur, n, mat.Transpose(factors[n]))
+	}
+	return cur, stats
+}

@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"repro/internal/mapreduce"
+	"repro/internal/mat"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// joinCell is one join-tensor cell in original mode order.
+type joinCell struct {
+	idx []int
+	val float64
+}
+
+// stitchPhase is Phase 2: cells from both sub-tensors are shuffled by
+// pivot configuration; each reducer joins its group into join-tensor
+// cells.
+func stitchPhase(p *partition.Result, cells []taggedCell, workers int, zero bool) (*tensor.Sparse, mapreduce.Stats) {
+	space := p.Space
+	cfg := p.Config
+	k := len(cfg.Pivots)
+	shape := space.Shape()
+
+	// Pivot key: linearised pivot coordinates (identical for both
+	// sub-tensors since pivots lead the mode order on each side).
+	pivotSizes := make([]int, k)
+	for i, m := range cfg.Pivots {
+		pivotSizes[i] = shape[m]
+	}
+	pivotKeyOf := func(idx []int) int {
+		key := 0
+		for i := 0; i < k; i++ {
+			key = key*pivotSizes[i] + idx[i]
+		}
+		return key
+	}
+
+	// Full free grids, enumerated once for zero-join reducers.
+	free1All := enumerate(shape, cfg.Free1)
+	free2All := enumerate(shape, cfg.Free2)
+
+	job := &mapreduce.Job[taggedCell, int, taggedCell, joinCell]{
+		Map: func(c taggedCell, emit func(int, taggedCell)) {
+			emit(pivotKeyOf(c.idx), c)
+		},
+		Reduce: func(key int, group []taggedCell, emit func(joinCell)) {
+			sortCells(group)
+			var side1, side2 []taggedCell
+			for _, c := range group {
+				if c.kappa == 1 {
+					side1 = append(side1, c)
+				} else {
+					side2 = append(side2, c)
+				}
+			}
+			pivotIdx := make([]int, k)
+			rem := key
+			for i := k - 1; i >= 0; i-- {
+				pivotIdx[i] = rem % pivotSizes[i]
+				rem /= pivotSizes[i]
+			}
+			emitCell := func(f1, f2 []int, v float64) {
+				full := make([]int, space.Order())
+				for i, m := range cfg.Pivots {
+					full[m] = pivotIdx[i]
+				}
+				for i, m := range cfg.Free1 {
+					full[m] = f1[i]
+				}
+				for i, m := range cfg.Free2 {
+					full[m] = f2[i]
+				}
+				emit(joinCell{idx: full, val: v})
+			}
+			// Matched pairs.
+			for _, c1 := range side1 {
+				for _, c2 := range side2 {
+					emitCell(c1.idx[k:], c2.idx[k:], (c1.val+c2.val)/2)
+				}
+			}
+			if !zero {
+				return
+			}
+			// Zero-join extensions against unsampled partners.
+			sampled1 := sampledSet(side1, k)
+			sampled2 := sampledSet(side2, k)
+			for _, f2 := range free2All {
+				if sampled2[localKey(f2)] {
+					continue
+				}
+				for _, c1 := range side1 {
+					emitCell(c1.idx[k:], f2, c1.val/2)
+				}
+			}
+			for _, f1 := range free1All {
+				if sampled1[localKey(f1)] {
+					continue
+				}
+				for _, c2 := range side2 {
+					emitCell(f1, c2.idx[k:], c2.val/2)
+				}
+			}
+		},
+		Workers: workers,
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	out, stats := job.Run(cells)
+	j := tensor.NewSparse(shape)
+	for _, c := range out {
+		j.Append(c.idx, c.val)
+	}
+	return j, stats
+}
+
+// corePhase is Phase 3: the join tensor's cells are sharded across
+// reducers; each computes its shard's projection through the factor
+// matrices and the driver sums the partial cores (exact, since the core is
+// linear in J's cells).
+func corePhase(j *tensor.Sparse, factors []*mat.Matrix, workers int) (*tensor.Dense, mapreduce.Stats) {
+	order := j.Order()
+	type indexedCell struct {
+		pos  int
+		cell joinCell
+	}
+	cells := make([]indexedCell, 0, j.NNZ())
+	j.Each(func(idx []int, v float64) {
+		cells = append(cells, indexedCell{
+			pos:  len(cells),
+			cell: joinCell{idx: append([]int(nil), idx...), val: v},
+		})
+	})
+	transposed := tensor.TransposeAll(factors)
+
+	job := &mapreduce.Job[indexedCell, int, joinCell, *tensor.Dense]{
+		Map: func(c indexedCell, emit func(int, joinCell)) {
+			emit(c.pos%workers, c.cell)
+		},
+		Reduce: func(shard int, group []joinCell, emit func(*tensor.Dense)) {
+			x := tensor.NewSparse(j.Shape)
+			for _, c := range group {
+				x.Append(c.idx, c.val)
+			}
+			emit(tensor.MultiTTMSparse(x, transposed))
+		},
+		Workers: workers,
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	partials, stats := job.Run(cells)
+	if len(partials) == 0 {
+		// Empty join tensor: the core is the all-zero tensor at the target
+		// ranks.
+		coreShape := make(tensor.Shape, order)
+		for n := 0; n < order; n++ {
+			coreShape[n] = factors[n].Cols
+		}
+		return tensor.NewDense(coreShape), stats
+	}
+	total := partials[0]
+	for _, pc := range partials[1:] {
+		total = total.Add(pc)
+	}
+	return total, stats
+}
+
+// enumerate lists every coordinate combination over the given modes.
+func enumerate(shape tensor.Shape, modes []int) [][]int {
+	var out [][]int
+	cur := make([]int, len(modes))
+	var walk func(pos int)
+	walk = func(pos int) {
+		if pos == len(modes) {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < shape[modes[pos]]; i++ {
+			cur[pos] = i
+			walk(pos + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// sampledSet returns the set of free coordinates present in one side of a
+// pivot group.
+func sampledSet(side []taggedCell, k int) map[int]bool {
+	out := make(map[int]bool, len(side))
+	for _, c := range side {
+		out[localKey(c.idx[k:])] = true
+	}
+	return out
+}
+
+const localRadix = 1 << 20
+
+func localKey(idx []int) int {
+	key := 0
+	for _, i := range idx {
+		key = key*localRadix + i
+	}
+	return key
+}

@@ -1,0 +1,110 @@
+package dynsys
+
+import (
+	"math"
+
+	"repro/internal/ode"
+)
+
+// DoublePendulum is the equal-length double pendulum of Figure 2. Its four
+// variable simulation parameters (Section VII-A) are the initial angles
+// φ₁, φ₂ and the bob weights m₁, m₂; rod lengths and gravity are physical
+// constants. The observed state is the two pendulum angles (θ₁, θ₂).
+type DoublePendulum struct {
+	// L is the common rod length; G the gravitational acceleration.
+	L, G float64
+	// Horizon is the simulated time span in seconds.
+	Horizon float64
+	// MaxStep caps the RK4 step size; the per-sample step count is derived
+	// from it so integration accuracy does not depend on the time-mode
+	// resolution.
+	MaxStep float64
+}
+
+// NewDoublePendulum returns a double pendulum with unit rods, Earth
+// gravity, and a 5-second horizon.
+func NewDoublePendulum() *DoublePendulum {
+	return &DoublePendulum{L: 1, G: 9.81, Horizon: 5, MaxStep: 0.01}
+}
+
+// Name implements System.
+func (dp *DoublePendulum) Name() string { return "double-pendulum" }
+
+// Params implements System. Angles span most of the upper half-plane;
+// masses span a factor of ~5.
+func (dp *DoublePendulum) Params() []Param {
+	return []Param{
+		{Name: "phi1", Min: -2.0, Max: 2.0},
+		{Name: "phi2", Min: -2.0, Max: 2.0},
+		{Name: "m1", Min: 0.5, Max: 2.5},
+		{Name: "m2", Min: 0.5, Max: 2.5},
+	}
+}
+
+// StateDim implements System: the observed state is (θ₁, θ₂).
+func (dp *DoublePendulum) StateDim() int { return 2 }
+
+// Trajectory implements System. vals = (φ₁, φ₂, m₁, m₂).
+func (dp *DoublePendulum) Trajectory(vals []float64, numSamples int) [][]float64 {
+	phi1, phi2, m1, m2 := vals[0], vals[1], vals[2], vals[3]
+	l, g := dp.L, dp.G
+	deriv := func(t float64, y, dst []float64) {
+		th1, w1, th2, w2 := y[0], y[1], y[2], y[3]
+		delta := th1 - th2
+		sinD, cosD := math.Sin(delta), math.Cos(delta)
+		den := 2*m1 + m2 - m2*math.Cos(2*th1-2*th2)
+		// Standard equal-length double-pendulum equations of motion.
+		dst[0] = w1
+		dst[1] = (-g*(2*m1+m2)*math.Sin(th1) -
+			m2*g*math.Sin(th1-2*th2) -
+			2*sinD*m2*(w2*w2*l+w1*w1*l*cosD)) / (l * den)
+		dst[2] = w2
+		dst[3] = (2 * sinD * (w1*w1*l*(m1+m2) +
+			g*(m1+m2)*math.Cos(th1) +
+			w2*w2*l*m2*cosD)) / (l * den)
+	}
+	y0 := []float64{phi1, 0, phi2, 0}
+	full := ode.Trajectory(deriv, 0, dp.Horizon, y0, numSamples, stepsPerSample(dp.Horizon, numSamples, dp.MaxStep))
+	out := make([][]float64, numSamples)
+	for i, y := range full {
+		out[i] = []float64{y[0], y[2]}
+	}
+	return out
+}
+
+// Energy returns the total mechanical energy for a full internal state
+// (θ₁, ω₁, θ₂, ω₂); used by tests to validate the equations of motion
+// (energy is conserved in the frictionless system).
+func (dp *DoublePendulum) Energy(y []float64, m1, m2 float64) float64 {
+	th1, w1, th2, w2 := y[0], y[1], y[2], y[3]
+	l, g := dp.L, dp.G
+	v1sq := l * l * w1 * w1
+	v2sq := l*l*w1*w1 + l*l*w2*w2 + 2*l*l*w1*w2*math.Cos(th1-th2)
+	ke := 0.5*m1*v1sq + 0.5*m2*v2sq
+	y1 := -l * math.Cos(th1)
+	y2 := y1 - l*math.Cos(th2)
+	pe := m1*g*y1 + m2*g*y2
+	return ke + pe
+}
+
+// FullState integrates the pendulum and returns the complete internal
+// state (θ₁, ω₁, θ₂, ω₂) at the end of the horizon; used by energy tests.
+func (dp *DoublePendulum) FullState(vals []float64, steps int) []float64 {
+	phi1, phi2, m1, m2 := vals[0], vals[1], vals[2], vals[3]
+	l, g := dp.L, dp.G
+	deriv := func(t float64, y, dst []float64) {
+		th1, w1, th2, w2 := y[0], y[1], y[2], y[3]
+		delta := th1 - th2
+		sinD, cosD := math.Sin(delta), math.Cos(delta)
+		den := 2*m1 + m2 - m2*math.Cos(2*th1-2*th2)
+		dst[0] = w1
+		dst[1] = (-g*(2*m1+m2)*math.Sin(th1) -
+			m2*g*math.Sin(th1-2*th2) -
+			2*sinD*m2*(w2*w2*l+w1*w1*l*cosD)) / (l * den)
+		dst[2] = w2
+		dst[3] = (2 * sinD * (w1*w1*l*(m1+m2) +
+			g*(m1+m2)*math.Cos(th1) +
+			w2*w2*l*m2*cosD)) / (l * den)
+	}
+	return ode.RK4(deriv, 0, dp.Horizon, []float64{phi1, 0, phi2, 0}, steps)
+}

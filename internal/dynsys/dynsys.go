@@ -1,0 +1,131 @@
+// Package dynsys implements the dynamical systems the paper simulates —
+// the double pendulum, the triple pendulum with friction, and the Lorenz
+// system from its evaluation, plus the SEIR epidemic model its
+// introduction motivates — behind a common System interface.
+//
+// Each system exposes exactly four variable simulation parameters
+// (Section VII-A) and produces a multivariate time series by RK4
+// integration. Ensemble tensor cells store, per Section VII-B, the
+// Euclidean distance between a simulated trajectory's state and a
+// designated reference ("observed") trajectory's state at each timestamp.
+package dynsys
+
+import (
+	"fmt"
+	"math"
+)
+
+// Param describes one simulation parameter and its value range.
+type Param struct {
+	Name string
+	Min  float64
+	Max  float64
+}
+
+// Value returns the parameter value at grid position i of a grid with the
+// given resolution (linearly spaced over [Min, Max], inclusive).
+func (p Param) Value(i, resolution int) float64 {
+	if resolution <= 1 {
+		return (p.Min + p.Max) / 2
+	}
+	return p.Min + (p.Max-p.Min)*float64(i)/float64(resolution-1)
+}
+
+// System is a simulatable dynamic process with a fixed set of variable
+// input parameters.
+type System interface {
+	// Name identifies the system ("double-pendulum", …).
+	Name() string
+	// Params returns the variable simulation parameters, in mode order.
+	Params() []Param
+	// StateDim is the dimensionality of the observed state vector.
+	StateDim() int
+	// Trajectory simulates the system for the given parameter values and
+	// returns the observed state at numSamples evenly spaced timestamps.
+	Trajectory(vals []float64, numSamples int) [][]float64
+}
+
+// Distance returns the Euclidean distance between two state vectors.
+func Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dynsys: state dims differ: %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Reference produces the "observed system" trajectory for a system: the
+// simulation at the designated reference parameter values. Ensemble cells
+// measure distance to this trajectory.
+func Reference(sys System, numSamples int) [][]float64 {
+	return sys.Trajectory(ReferenceParams(sys), numSamples)
+}
+
+// ReferenceParams returns the reference parameter setting: 40% of the way
+// through each parameter range. Deliberately off the grid midpoint so the
+// reference does not coincide with the fixing constants used by
+// PF-partitioning.
+func ReferenceParams(sys System) []float64 {
+	ps := sys.Params()
+	vals := make([]float64, len(ps))
+	for i, p := range ps {
+		vals[i] = p.Min + 0.4*(p.Max-p.Min)
+	}
+	return vals
+}
+
+// CellValues runs one simulation and returns the tensor cell values for
+// all numSamples timestamps: the Euclidean distance between the simulated
+// state and the reference state at each timestamp. ref must come from
+// Reference(sys, numSamples).
+func CellValues(sys System, vals []float64, ref [][]float64) []float64 {
+	numSamples := len(ref)
+	traj := sys.Trajectory(vals, numSamples)
+	out := make([]float64, numSamples)
+	for t := range out {
+		out[t] = Distance(traj[t], ref[t])
+	}
+	return out
+}
+
+// ByName returns the named system with default physical constants.
+// Recognised names: "double-pendulum", "triple-pendulum", "lorenz",
+// "seir".
+func ByName(name string) (System, error) {
+	switch name {
+	case "double-pendulum":
+		return NewDoublePendulum(), nil
+	case "triple-pendulum":
+		return NewTriplePendulum(), nil
+	case "lorenz":
+		return NewLorenz(), nil
+	case "seir":
+		return NewSEIR(), nil
+	default:
+		return nil, fmt.Errorf("dynsys: unknown system %q", name)
+	}
+}
+
+// All returns every built-in system: the three the paper evaluates, in
+// its order, plus the SEIR epidemic model its introduction motivates.
+func All() []System {
+	return []System{NewDoublePendulum(), NewTriplePendulum(), NewLorenz(), NewSEIR()}
+}
+
+// stepsPerSample returns the number of fixed RK4 sub-steps needed so that
+// no step exceeds maxStep, given the interval between output samples.
+// Integration accuracy must not depend on how coarsely the time mode is
+// sampled, so integrators derive their step count from a maximum step
+// size rather than from the sample count.
+func stepsPerSample(horizon float64, numSamples int, maxStep float64) int {
+	dt := horizon / float64(numSamples)
+	n := int(math.Ceil(dt / maxStep))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

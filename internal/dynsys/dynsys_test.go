@@ -1,0 +1,304 @@
+package dynsys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamValueGrid(t *testing.T) {
+	p := Param{Name: "x", Min: 0, Max: 10}
+	if got := p.Value(0, 11); got != 0 {
+		t.Fatalf("Value(0) = %v, want 0", got)
+	}
+	if got := p.Value(10, 11); got != 10 {
+		t.Fatalf("Value(10) = %v, want 10", got)
+	}
+	if got := p.Value(5, 11); got != 5 {
+		t.Fatalf("Value(5) = %v, want 5", got)
+	}
+	if got := p.Value(0, 1); got != 5 {
+		t.Fatalf("Value with resolution 1 = %v, want midpoint 5", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if got := Distance([]float64{0, 0}, []float64{3, 4}); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("Distance = %v, want 5", got)
+	}
+	if got := Distance([]float64{1}, []float64{1}); got != 0 {
+		t.Fatalf("Distance to self = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched dims did not panic")
+		}
+	}()
+	Distance([]float64{1}, []float64{1, 2})
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"double-pendulum", "triple-pendulum", "lorenz", "seir"} {
+		sys, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if sys.Name() != name {
+			t.Fatalf("Name() = %q, want %q", sys.Name(), name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown system should error")
+	}
+	if len(All()) != 4 {
+		t.Fatal("All() should return four systems")
+	}
+}
+
+func TestAllSystemsHaveFourParams(t *testing.T) {
+	// The paper's evaluation uses 5-mode tensors: 4 simulation parameters
+	// plus time.
+	for _, sys := range All() {
+		if got := len(sys.Params()); got != 4 {
+			t.Errorf("%s has %d params, want 4", sys.Name(), got)
+		}
+		for _, p := range sys.Params() {
+			if p.Min >= p.Max {
+				t.Errorf("%s param %s has empty range [%v, %v]", sys.Name(), p.Name, p.Min, p.Max)
+			}
+		}
+	}
+}
+
+func TestTrajectoryShapes(t *testing.T) {
+	for _, sys := range All() {
+		ref := ReferenceParams(sys)
+		traj := sys.Trajectory(ref, 7)
+		if len(traj) != 7 {
+			t.Errorf("%s: %d samples, want 7", sys.Name(), len(traj))
+		}
+		for i, st := range traj {
+			if len(st) != sys.StateDim() {
+				t.Errorf("%s sample %d: state dim %d, want %d", sys.Name(), i, len(st), sys.StateDim())
+			}
+			for _, v := range st {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s sample %d: non-finite state %v", sys.Name(), i, st)
+				}
+			}
+		}
+	}
+}
+
+func TestTrajectoryDeterministic(t *testing.T) {
+	for _, sys := range All() {
+		vals := ReferenceParams(sys)
+		a := sys.Trajectory(vals, 5)
+		b := sys.Trajectory(vals, 5)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Errorf("%s: trajectory not deterministic", sys.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestCellValuesZeroAtReference(t *testing.T) {
+	for _, sys := range All() {
+		ref := Reference(sys, 6)
+		cells := CellValues(sys, ReferenceParams(sys), ref)
+		for tIdx, v := range cells {
+			if v != 0 {
+				t.Errorf("%s: distance to self at t=%d is %v, want 0", sys.Name(), tIdx, v)
+			}
+		}
+	}
+}
+
+func TestCellValuesPositiveOffReference(t *testing.T) {
+	for _, sys := range All() {
+		ref := Reference(sys, 6)
+		vals := ReferenceParams(sys)
+		// Perturb the first parameter to the top of its range.
+		vals[0] = sys.Params()[0].Max
+		cells := CellValues(sys, vals, ref)
+		var total float64
+		for _, v := range cells {
+			if v < 0 {
+				t.Errorf("%s: negative distance %v", sys.Name(), v)
+			}
+			total += v
+		}
+		if total == 0 {
+			t.Errorf("%s: perturbed trajectory identical to reference", sys.Name())
+		}
+	}
+}
+
+func TestDoublePendulumEnergyConservation(t *testing.T) {
+	dp := NewDoublePendulum()
+	m1, m2 := 1.2, 0.8
+	vals := []float64{0.9, -0.5, m1, m2}
+	y0 := []float64{0.9, 0, -0.5, 0}
+	e0 := dp.Energy(y0, m1, m2)
+	y1 := dp.FullState(vals, 4000)
+	e1 := dp.Energy(y1, m1, m2)
+	if rel := math.Abs(e1-e0) / math.Abs(e0); rel > 1e-5 {
+		t.Fatalf("double pendulum energy drift %v (E %v -> %v)", rel, e0, e1)
+	}
+}
+
+func TestDoublePendulumSmallAngleFrequency(t *testing.T) {
+	// For tiny initial angles with m2 → 0, the first pendulum behaves like
+	// a simple pendulum with ω = sqrt(g/L): after one period it returns.
+	dp := NewDoublePendulum()
+	dp.Horizon = 2 * math.Pi / math.Sqrt(dp.G/dp.L)
+	y := dp.FullState([]float64{0.01, 0.01, 1, 1e-6}, 4000)
+	if math.Abs(y[0]-0.01) > 1e-3 {
+		t.Fatalf("small-angle period mismatch: θ₁ = %v, want ≈0.01", y[0])
+	}
+}
+
+func TestTriplePendulumEnergyConservedWithoutFriction(t *testing.T) {
+	tp := NewTriplePendulum()
+	vals := []float64{0.7, -0.3, 0.4, 0} // zero friction
+	y0 := []float64{0.7, -0.3, 0.4, 0, 0, 0}
+	e0 := tp.Energy(y0)
+	y1 := tp.FullState(vals, 4000)
+	e1 := tp.Energy(y1)
+	if rel := math.Abs(e1-e0) / math.Abs(e0); rel > 1e-4 {
+		t.Fatalf("triple pendulum energy drift %v (E %v -> %v)", rel, e0, e1)
+	}
+}
+
+func TestTriplePendulumFrictionDissipates(t *testing.T) {
+	tp := NewTriplePendulum()
+	y0 := []float64{0.7, -0.3, 0.4, 0, 0, 0}
+	e0 := tp.Energy(y0)
+	yf := tp.FullState([]float64{0.7, -0.3, 0.4, 0.8}, 4000)
+	ef := tp.Energy(yf)
+	if ef >= e0 {
+		t.Fatalf("friction did not dissipate energy: %v -> %v", e0, ef)
+	}
+}
+
+func TestTriplePendulumRestsAtEquilibrium(t *testing.T) {
+	// Starting hanging straight down with no velocity: stays there.
+	tp := NewTriplePendulum()
+	traj := tp.Trajectory([]float64{0, 0, 0, 0.5}, 5)
+	for _, st := range traj {
+		for _, th := range st {
+			if math.Abs(th) > 1e-10 {
+				t.Fatalf("pendulum moved from equilibrium: %v", st)
+			}
+		}
+	}
+}
+
+func TestLorenzFixedPoint(t *testing.T) {
+	// For ρ < 1 the origin attracts; starting near it, the state decays.
+	lz := NewLorenz()
+	lz.Horizon = 20
+	traj := lz.Trajectory([]float64{0.5, 10, 8.0 / 3, 0.5}, 4)
+	last := traj[len(traj)-1]
+	for _, v := range last {
+		if math.Abs(v) > 1e-3 {
+			t.Fatalf("Lorenz with ρ<1 did not decay to origin: %v", last)
+		}
+	}
+}
+
+func TestLorenzSensitivity(t *testing.T) {
+	// Chaotic regime: nearby initial conditions separate by an order of
+	// magnitude over a long horizon.
+	lz := NewLorenz()
+	lz.Horizon = 12
+	a := lz.Trajectory([]float64{1.0, 10, 8.0 / 3, 28}, 24)
+	b := lz.Trajectory([]float64{1.001, 10, 8.0 / 3, 28}, 24)
+	d0 := Distance(a[0], b[0])
+	dEnd := Distance(a[23], b[23])
+	if dEnd < 5*d0 {
+		t.Fatalf("chaotic trajectories did not diverge: %v -> %v", d0, dEnd)
+	}
+}
+
+// Property: cell values are non-negative and finite for random in-range
+// parameter settings, for every system.
+func TestCellValuesWellFormedQuick(t *testing.T) {
+	for _, sys := range All() {
+		sys := sys
+		ref := Reference(sys, 4)
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			ps := sys.Params()
+			vals := make([]float64, len(ps))
+			for i, p := range ps {
+				vals[i] = p.Min + rng.Float64()*(p.Max-p.Min)
+			}
+			for _, v := range CellValues(sys, vals, ref) {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(60))}); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestSEIRConservesPopulation(t *testing.T) {
+	// The four compartments always sum to 1.
+	sr := NewSEIR()
+	traj := sr.Trajectory([]float64{0.4, 0.3, 0.1, 0.01}, 10)
+	for i, st := range traj {
+		total := st[0] + st[1] + st[2] + st[3]
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("sample %d: compartments sum to %v", i, total)
+		}
+		for c, v := range st {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("sample %d compartment %d = %v outside [0,1]", i, c, v)
+			}
+		}
+	}
+}
+
+func TestSEIREpidemicRegimes(t *testing.T) {
+	sr := NewSEIR()
+	// R0 = beta/gamma >> 1: most of the population eventually recovers.
+	epidemic := sr.Trajectory([]float64{0.6, 0.5, 0.05, 0.01}, 8)
+	finalR := epidemic[7][3]
+	if finalR < 0.5 {
+		t.Fatalf("R0>>1: recovered fraction %v, want > 0.5", finalR)
+	}
+	// R0 < 1: the outbreak dies out, most stay susceptible.
+	dying := sr.Trajectory([]float64{0.1, 0.5, 0.3, 0.01}, 8)
+	finalS := dying[7][0]
+	if finalS < 0.8 {
+		t.Fatalf("R0<1: susceptible fraction %v, want > 0.8", finalS)
+	}
+}
+
+func TestSEIRInfectionPeaks(t *testing.T) {
+	// In the epidemic regime the infectious fraction rises then falls.
+	sr := NewSEIR()
+	traj := sr.Trajectory([]float64{0.5, 0.3, 0.08, 0.005}, 60)
+	peak, peakAt := 0.0, -1
+	for i, st := range traj {
+		if st[2] > peak {
+			peak = st[2]
+			peakAt = i
+		}
+	}
+	if peakAt <= 0 || peakAt >= 59 {
+		t.Fatalf("infection peak at boundary sample %d", peakAt)
+	}
+	if peak < 0.05 {
+		t.Fatalf("peak infectious fraction %v too small", peak)
+	}
+}

@@ -1,0 +1,59 @@
+package dynsys
+
+import "repro/internal/ode"
+
+// Lorenz is the Lorenz system of Section VII-A, notable for chaotic
+// solutions at certain parameter settings. Its four variable simulation
+// parameters are the initial z coordinate z₀ and the system parameters
+// σ, β, ρ; the initial x and y coordinates are physical constants. The
+// observed state is the full position (x, y, z).
+//
+//	x' = σ(y − x)
+//	y' = x(ρ − z) − y
+//	z' = xy − βz
+type Lorenz struct {
+	// X0, Y0 are the fixed initial x and y coordinates.
+	X0, Y0 float64
+	// Horizon is the simulated time span.
+	Horizon float64
+	// MaxStep caps the RK4 step size; the per-sample step count is derived
+	// from it so integration accuracy does not depend on the time-mode
+	// resolution.
+	MaxStep float64
+}
+
+// NewLorenz returns a Lorenz system starting at (1, 1, z₀) over a
+// 2-second horizon (long enough for trajectories to separate, short
+// enough that chaotic divergence does not saturate every distance).
+func NewLorenz() *Lorenz {
+	return &Lorenz{X0: 1, Y0: 1, Horizon: 2, MaxStep: 0.005}
+}
+
+// Name implements System.
+func (lz *Lorenz) Name() string { return "lorenz" }
+
+// Params implements System. Ranges straddle the classic chaotic setting
+// (σ=10, β=8/3, ρ=28).
+func (lz *Lorenz) Params() []Param {
+	return []Param{
+		{Name: "z0", Min: 0.5, Max: 1.5},
+		{Name: "sigma", Min: 8, Max: 12},
+		{Name: "beta", Min: 2, Max: 3.5},
+		{Name: "rho", Min: 20, Max: 35},
+	}
+}
+
+// StateDim implements System: the observed state is (x, y, z).
+func (lz *Lorenz) StateDim() int { return 3 }
+
+// Trajectory implements System. vals = (z₀, σ, β, ρ).
+func (lz *Lorenz) Trajectory(vals []float64, numSamples int) [][]float64 {
+	z0, sigma, beta, rho := vals[0], vals[1], vals[2], vals[3]
+	deriv := func(t float64, y, dst []float64) {
+		dst[0] = sigma * (y[1] - y[0])
+		dst[1] = y[0]*(rho-y[2]) - y[1]
+		dst[2] = y[0]*y[1] - beta*y[2]
+	}
+	y0 := []float64{lz.X0, lz.Y0, z0}
+	return ode.Trajectory(deriv, 0, lz.Horizon, y0, numSamples, stepsPerSample(lz.Horizon, numSamples, lz.MaxStep))
+}

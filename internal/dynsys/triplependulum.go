@@ -1,0 +1,156 @@
+package dynsys
+
+import (
+	"math"
+
+	"repro/internal/ode"
+)
+
+// TriplePendulum is the triple pendulum with variable friction of
+// Section VII-A: three serial point-mass pendulums on massless unit rods.
+// Its four variable simulation parameters are the initial angles
+// φ₁, φ₂, φ₃ and the friction coefficient f of the whole system. The
+// observed state is the three angles (θ₁, θ₂, θ₃).
+//
+// Dynamics follow the Lagrangian formulation for a serial pendulum chain:
+//
+//	M(θ)·θ̈ = b(θ, θ̇) − f·θ̇
+//
+// with mass matrix M_ij = c_ij·cos(θ_i−θ_j), c_ij = Σ_{k ≥ max(i,j)} m_k
+// (unit rods), and b_i = −Σ_j c_ij·sin(θ_i−θ_j)·θ̇_j² − (Σ_{k≥i} m_k)·g·sin θ_i.
+// The 3×3 system is solved by inlined Gaussian elimination at every
+// derivative evaluation.
+type TriplePendulum struct {
+	// Masses holds the three bob masses (constants; friction is the
+	// variable parameter in this system).
+	Masses [3]float64
+	// G is gravitational acceleration; Horizon the simulated span.
+	G, Horizon float64
+	// MaxStep caps the RK4 step size; the per-sample step count is derived
+	// from it so integration accuracy does not depend on the time-mode
+	// resolution.
+	MaxStep float64
+}
+
+// NewTriplePendulum returns a unit-mass triple pendulum with Earth gravity
+// and a 5-second horizon.
+func NewTriplePendulum() *TriplePendulum {
+	return &TriplePendulum{Masses: [3]float64{1, 1, 1}, G: 9.81, Horizon: 5, MaxStep: 0.01}
+}
+
+// Name implements System.
+func (tp *TriplePendulum) Name() string { return "triple-pendulum" }
+
+// Params implements System.
+func (tp *TriplePendulum) Params() []Param {
+	return []Param{
+		{Name: "phi1", Min: -1.5, Max: 1.5},
+		{Name: "phi2", Min: -1.5, Max: 1.5},
+		{Name: "phi3", Min: -1.5, Max: 1.5},
+		{Name: "f", Min: 0.0, Max: 1.0},
+	}
+}
+
+// StateDim implements System: the observed state is (θ₁, θ₂, θ₃).
+func (tp *TriplePendulum) StateDim() int { return 3 }
+
+// deriv returns the derivative function for the given friction value.
+// The 3×3 mass-matrix solve is inlined (Gaussian elimination with partial
+// pivoting on stack arrays) because it runs on every RK4 stage; routing it
+// through the general mat.Solve would allocate four times per evaluation.
+func (tp *TriplePendulum) deriv(friction float64) ode.Derivative {
+	m := tp.Masses
+	g := tp.G
+	// c_ij = Σ_{k ≥ max(i,j)} m_k with unit rod lengths.
+	tail := [3]float64{m[0] + m[1] + m[2], m[1] + m[2], m[2]}
+	return func(t float64, y, dst []float64) {
+		th := y[0:3]
+		w := y[3:6]
+		var a [3][4]float64 // augmented system [M | b]
+		for i := 0; i < 3; i++ {
+			var b float64
+			for j := 0; j < 3; j++ {
+				c := tail[i]
+				if j > i {
+					c = tail[j]
+				}
+				d := th[i] - th[j]
+				a[i][j] = c * math.Cos(d)
+				b -= c * math.Sin(d) * w[j] * w[j]
+			}
+			b -= tail[i] * g * math.Sin(th[i])
+			b -= friction * w[i]
+			a[i][3] = b
+		}
+		// Gaussian elimination with partial pivoting. The mass matrix of a
+		// physical pendulum chain is positive definite, so pivots only
+		// vanish after a numerical blow-up; in that case damp to zero
+		// acceleration instead of propagating NaNs.
+		for k := 0; k < 3; k++ {
+			p := k
+			for i := k + 1; i < 3; i++ {
+				if math.Abs(a[i][k]) > math.Abs(a[p][k]) {
+					p = i
+				}
+			}
+			if a[p][k] == 0 {
+				dst[0], dst[1], dst[2] = w[0], w[1], w[2]
+				dst[3], dst[4], dst[5] = 0, 0, 0
+				return
+			}
+			a[k], a[p] = a[p], a[k]
+			inv := 1 / a[k][k]
+			for i := k + 1; i < 3; i++ {
+				f := a[i][k] * inv
+				for j := k; j < 4; j++ {
+					a[i][j] -= f * a[k][j]
+				}
+			}
+		}
+		acc2 := a[2][3] / a[2][2]
+		acc1 := (a[1][3] - a[1][2]*acc2) / a[1][1]
+		acc0 := (a[0][3] - a[0][1]*acc1 - a[0][2]*acc2) / a[0][0]
+		dst[0], dst[1], dst[2] = w[0], w[1], w[2]
+		dst[3], dst[4], dst[5] = acc0, acc1, acc2
+	}
+}
+
+// Trajectory implements System. vals = (φ₁, φ₂, φ₃, f).
+func (tp *TriplePendulum) Trajectory(vals []float64, numSamples int) [][]float64 {
+	y0 := []float64{vals[0], vals[1], vals[2], 0, 0, 0}
+	full := ode.Trajectory(tp.deriv(vals[3]), 0, tp.Horizon, y0, numSamples, stepsPerSample(tp.Horizon, numSamples, tp.MaxStep))
+	out := make([][]float64, numSamples)
+	for i, y := range full {
+		out[i] = []float64{y[0], y[1], y[2]}
+	}
+	return out
+}
+
+// Energy returns the total mechanical energy for a full internal state
+// (θ₁,θ₂,θ₃,ω₁,ω₂,ω₃); conserved when friction is zero.
+func (tp *TriplePendulum) Energy(y []float64) float64 {
+	th := y[0:3]
+	w := y[3:6]
+	m := tp.Masses
+	g := tp.G
+	// Bob velocities: v_k = Σ_{i ≤ k} rod_i angular velocity vectors.
+	var ke, pe float64
+	for k := 0; k < 3; k++ {
+		var vx, vy, height float64
+		for i := 0; i <= k; i++ {
+			vx += w[i] * math.Cos(th[i])
+			vy += w[i] * math.Sin(th[i])
+			height -= math.Cos(th[i])
+		}
+		ke += 0.5 * m[k] * (vx*vx + vy*vy)
+		pe += m[k] * g * height
+	}
+	return ke + pe
+}
+
+// FullState integrates and returns the complete internal state
+// (θ₁,θ₂,θ₃,ω₁,ω₂,ω₃) at the end of the horizon.
+func (tp *TriplePendulum) FullState(vals []float64, steps int) []float64 {
+	y0 := []float64{vals[0], vals[1], vals[2], 0, 0, 0}
+	return ode.RK4(tp.deriv(vals[3]), 0, tp.Horizon, y0, steps)
+}

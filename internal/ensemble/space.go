@@ -1,0 +1,153 @@
+// Package ensemble models simulation parameter spaces and ensemble
+// construction. It maps a dynamical system onto the paper's 5-mode tensor
+// view — four simulation-parameter modes plus a time mode (Section VII-B) —
+// and provides the conventional ensemble sampling schemes (Random, Grid,
+// Slice of Section IV) that M2TD is evaluated against, as well as the
+// exhaustive ground-truth tensor used by the accuracy metric.
+package ensemble
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dynsys"
+	"repro/internal/tensor"
+)
+
+// Space is a discretised simulation parameter space for one dynamical
+// system: every simulation parameter gets Res grid values and time is
+// sampled at TimeSamples stamps, yielding the tensor shape
+// (Res, …, Res, TimeSamples) with the time mode last.
+type Space struct {
+	Sys dynsys.System
+	// Res is the per-parameter grid resolution (the paper's 60–80).
+	Res int
+	// TimeSamples is the size of the time mode.
+	TimeSamples int
+
+	refOnce sync.Once
+	ref     [][]float64
+
+	truthOnce sync.Once
+	truth     *tensor.Dense
+}
+
+// NewSpace returns a Space over the given system.
+func NewSpace(sys dynsys.System, res, timeSamples int) *Space {
+	if res < 1 || timeSamples < 1 {
+		panic(fmt.Sprintf("ensemble: invalid space %d×%d", res, timeSamples))
+	}
+	return &Space{Sys: sys, Res: res, TimeSamples: timeSamples}
+}
+
+// NumParams returns the number of simulation-parameter modes.
+func (s *Space) NumParams() int { return len(s.Sys.Params()) }
+
+// Order returns the tensor order: parameters plus the time mode.
+func (s *Space) Order() int { return s.NumParams() + 1 }
+
+// TimeMode returns the index of the time mode (always last).
+func (s *Space) TimeMode() int { return s.NumParams() }
+
+// Shape returns the full ensemble tensor shape.
+func (s *Space) Shape() tensor.Shape {
+	sh := make(tensor.Shape, s.Order())
+	for i := 0; i < s.NumParams(); i++ {
+		sh[i] = s.Res
+	}
+	sh[s.TimeMode()] = s.TimeSamples
+	return sh
+}
+
+// TotalSims returns the number of distinct simulations (parameter
+// combinations, Res^N) in the full space.
+func (s *Space) TotalSims() int {
+	n := 1
+	for i := 0; i < s.NumParams(); i++ {
+		n *= s.Res
+	}
+	return n
+}
+
+// ModeName returns a human-readable name for a tensor mode.
+func (s *Space) ModeName(mode int) string {
+	if mode == s.TimeMode() {
+		return "t"
+	}
+	return s.Sys.Params()[mode].Name
+}
+
+// ParamValues converts parameter grid indices to physical values.
+func (s *Space) ParamValues(idx []int) []float64 {
+	ps := s.Sys.Params()
+	if len(idx) != len(ps) {
+		panic(fmt.Sprintf("ensemble: ParamValues got %d indices for %d params", len(idx), len(ps)))
+	}
+	vals := make([]float64, len(ps))
+	for i, p := range ps {
+		vals[i] = p.Value(idx[i], s.Res)
+	}
+	return vals
+}
+
+// Reference returns the cached reference ("observed") trajectory.
+func (s *Space) Reference() [][]float64 {
+	s.refOnce.Do(func() {
+		s.ref = dynsys.Reference(s.Sys, s.TimeSamples)
+	})
+	return s.ref
+}
+
+// SimCells runs the simulation at the given parameter grid indices and
+// returns the tensor cell values for all TimeSamples timestamps.
+func (s *Space) SimCells(idx []int) []float64 {
+	return dynsys.CellValues(s.Sys, s.ParamValues(idx), s.Reference())
+}
+
+// DefaultIndex returns the grid index used as the fixing constant for a
+// parameter mode: the grid midpoint.
+func (s *Space) DefaultIndex() int { return s.Res / 2 }
+
+// GroundTruth exhaustively simulates the full parameter space and returns
+// the complete tensor Y ∈ R^{Res×…×Res×T}. The result is cached; the
+// computation is parallelised across all CPUs.
+func (s *Space) GroundTruth() *tensor.Dense {
+	s.truthOnce.Do(func() {
+		s.Reference() // materialise before fan-out
+		shape := s.Shape()
+		d := tensor.NewDense(shape)
+		total := s.TotalSims()
+		nParams := s.NumParams()
+		t := s.TimeSamples
+
+		workers := runtime.NumCPU()
+		if workers > total {
+			workers = total
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				idx := make([]int, nParams)
+				for sim := w; sim < total; sim += workers {
+					// Decode sim into parameter grid indices (C order).
+					rem := sim
+					for k := nParams - 1; k >= 0; k-- {
+						idx[k] = rem % s.Res
+						rem /= s.Res
+					}
+					cells := s.SimCells(idx)
+					// The time mode is last, so cells for one simulation are
+					// contiguous in the dense tensor.
+					base := sim * t
+					copy(d.Data[base:base+t], cells)
+				}
+			}(w)
+		}
+		wg.Wait()
+		s.truth = d
+	})
+	return s.truth
+}

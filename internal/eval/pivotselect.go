@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/tucker"
+)
+
+// PivotScore is one candidate pivot's pilot-run outcome.
+type PivotScore struct {
+	Pivot     int
+	PivotName string
+	// Accuracy is the estimated accuracy of a coarse pilot pipeline using
+	// this pivot.
+	Accuracy float64
+	// NumSims is the pilot's simulation cost.
+	NumSims int
+}
+
+// SelectPivot ranks the candidate pivot modes by running a coarse pilot
+// pipeline (low resolution, shared estimation fibers) for each and
+// returns the scores sorted best-first.
+//
+// Table VIII shows pivot choice shifts M2TD's accuracy modestly but
+// matters; the paper leaves the choice to the user. This heuristic
+// operationalises it: a pilot at a fraction of the real resolution costs
+// a few hundred simulations and transfers, because the relative pivot
+// ordering is driven by which parameter interactions the PF-partition
+// separates — a property of the system, not the resolution.
+func SelectPivot(system string, pilotRes, rank int, sampleSims int, seed int64) ([]PivotScore, error) {
+	if pilotRes < 2 {
+		return nil, fmt.Errorf("eval: pilot resolution %d too small", pilotRes)
+	}
+	space, err := SpaceFor(system, pilotRes, pilotRes)
+	if err != nil {
+		return nil, err
+	}
+	fibers := SampleFibers(space, sampleSims, rand.New(rand.NewSource(seed+200)))
+	ranks := tucker.UniformRanks(space.Order(), rank)
+
+	var scores []PivotScore
+	for pivot := 0; pivot < space.Order(); pivot++ {
+		pcfg := partition.DefaultConfig(space.Order(), pivot, PairsFor(system))
+		part, err := partition.Generate(space, pcfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, fmt.Errorf("eval: pivot %d pilot: %w", pivot, err)
+		}
+		res, err := core.DecomposeFactored(part, core.Options{Method: core.SELECT, Ranks: ranks})
+		if err != nil {
+			return nil, fmt.Errorf("eval: pivot %d pilot: %w", pivot, err)
+		}
+		acc, err := EstimateFromFibers(TuckerModel{Core: res.Core, Factors: res.Factors}, fibers)
+		if err != nil {
+			return nil, fmt.Errorf("eval: pivot %d pilot: %w", pivot, err)
+		}
+		scores = append(scores, PivotScore{
+			Pivot:     pivot,
+			PivotName: space.ModeName(pivot),
+			Accuracy:  acc,
+			NumSims:   part.NumSims,
+		})
+	}
+	sort.SliceStable(scores, func(a, b int) bool { return scores[a].Accuracy > scores[b].Accuracy })
+	return scores, nil
+}
+
+// RenderPivotScores prints the pilot ranking.
+func RenderPivotScores(w io.Writer, system string, scores []PivotScore) {
+	fmt.Fprintf(w, "PIVOT SELECTION: pilot ranking for %s\n", system)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Rank\tPivot\tPilot accuracy\tPilot sims")
+	for i, s := range scores {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\n", i+1, s.PivotName, fmtAcc(s.Accuracy), s.NumSims)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,54 @@
+package mapreduce
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkShuffleHeavy measures a job dominated by the shuffle phase:
+// many keys, trivial reduce.
+func BenchmarkShuffleHeavy(b *testing.B) {
+	inputs := make([]int, 50000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			j := &Job[int, int, int, int]{
+				Map:     func(v int, emit func(int, int)) { emit(v%1024, v) },
+				Reduce:  func(key int, values []int, emit func(int)) { emit(len(values)) },
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j.Run(inputs)
+			}
+		})
+	}
+}
+
+// BenchmarkReduceHeavy measures a job dominated by reduce-side compute.
+func BenchmarkReduceHeavy(b *testing.B) {
+	inputs := make([]int, 256)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			j := &Job[int, int, int, float64]{
+				Map: func(v int, emit func(int, int)) { emit(v%16, v) },
+				Reduce: func(key int, values []int, emit func(float64)) {
+					var s float64
+					for k := 0; k < 200000; k++ {
+						s += float64(k%7) * 0.5
+					}
+					emit(s)
+				},
+				Workers: workers,
+			}
+			for i := 0; i < b.N; i++ {
+				j.Run(inputs)
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mapreduce"
+)
+
+// ExampleJob_Run counts words across input lines with four workers.
+func ExampleJob_Run() {
+	job := &mapreduce.Job[string, string, int, string]{
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(word string, counts []int, emit func(string)) {
+			emit(fmt.Sprintf("%s=%d", word, len(counts)))
+		},
+		Workers: 4,
+		KeyLess: func(a, b string) bool { return a < b },
+	}
+	out, _ := job.Run([]string{"a b a", "b c"})
+	fmt.Println(strings.Join(out, " "))
+	// Output: a=2 b=2 c=1
+}

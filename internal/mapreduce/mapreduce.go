@@ -1,0 +1,138 @@
+// Package mapreduce is a small in-process MapReduce engine used to
+// reproduce the paper's distributed M2TD (Algorithm 6) without a Hadoop
+// cluster: mappers fan out over a configurable worker pool (the stand-in
+// for the paper's "servers"), intermediate pairs are shuffled by key, and
+// reducers process key groups in parallel.
+//
+// The engine is deliberately faithful to the MapReduce contract — mappers
+// see one input record at a time, reducers see one key with all its values
+// — so the D-M2TD phases written against it (package dist) follow the
+// paper's map/reduce pseudocode rather than shared-memory shortcuts.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Pair is an intermediate key/value record emitted by a mapper.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Stats records per-phase wall-clock durations of one job run.
+type Stats struct {
+	Map     time.Duration
+	Shuffle time.Duration
+	Reduce  time.Duration
+}
+
+// Total returns the end-to-end job duration.
+func (s Stats) Total() time.Duration { return s.Map + s.Shuffle + s.Reduce }
+
+// Job describes one MapReduce computation from inputs of type I through
+// intermediate pairs (K, V) to outputs of type R.
+type Job[I any, K comparable, V any, R any] struct {
+	// Map processes one input record and emits zero or more pairs.
+	Map func(input I, emit func(K, V))
+	// Reduce processes one key with all its values and emits zero or more
+	// results.
+	Reduce func(key K, values []V, emit func(R))
+	// Workers is the parallelism for both phases ("server" count).
+	// Values below 1 are treated as 1.
+	Workers int
+	// KeyLess optionally orders keys so reducer output is deterministic;
+	// when nil, keys are processed in arbitrary order.
+	KeyLess func(a, b K) bool
+}
+
+// Run executes the job over the inputs, returning all reducer outputs and
+// phase statistics. When KeyLess is set, outputs are ordered by key
+// (outputs for one key stay in emission order).
+func (j *Job[I, K, V, R]) Run(inputs []I) ([]R, Stats) {
+	if j.Map == nil || j.Reduce == nil {
+		panic("mapreduce: Job requires both Map and Reduce")
+	}
+	workers := j.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var stats Stats
+
+	// Map phase: each worker strides over inputs with a private buffer.
+	start := time.Now()
+	buffers := make([][]Pair[K, V], workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []Pair[K, V]
+			emit := func(k K, v V) { local = append(local, Pair[K, V]{k, v}) }
+			for i := w; i < len(inputs); i += workers {
+				j.Map(inputs[i], emit)
+			}
+			buffers[w] = local
+		}(w)
+	}
+	wg.Wait()
+	stats.Map = time.Since(start)
+
+	// Shuffle phase: group pairs by key. Buffers are merged in worker
+	// order so each key's value list is deterministic given a fixed
+	// worker count.
+	start = time.Now()
+	groups := make(map[K][]V)
+	for _, buf := range buffers {
+		for _, p := range buf {
+			groups[p.Key] = append(groups[p.Key], p.Value)
+		}
+	}
+	keys := make([]K, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	if j.KeyLess != nil {
+		sort.Slice(keys, func(a, b int) bool { return j.KeyLess(keys[a], keys[b]) })
+	}
+	stats.Shuffle = time.Since(start)
+
+	// Reduce phase: workers stride over key groups; per-key outputs are
+	// kept in key order when KeyLess is set.
+	start = time.Now()
+	outPerKey := make([][]R, len(keys))
+	wg = sync.WaitGroup{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(keys); i += workers {
+				var local []R
+				emit := func(r R) { local = append(local, r) }
+				j.Reduce(keys[i], groups[keys[i]], emit)
+				outPerKey[i] = local
+			}
+		}(w)
+	}
+	wg.Wait()
+	var out []R
+	for _, rs := range outPerKey {
+		out = append(out, rs...)
+	}
+	stats.Reduce = time.Since(start)
+	return out, stats
+}
+
+// Validate reports whether the job is well-formed without running it.
+func (j *Job[I, K, V, R]) Validate() error {
+	if j.Map == nil {
+		return fmt.Errorf("mapreduce: missing Map function")
+	}
+	if j.Reduce == nil {
+		return fmt.Errorf("mapreduce: missing Reduce function")
+	}
+	return nil
+}

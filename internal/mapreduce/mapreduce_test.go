@@ -1,0 +1,154 @@
+package mapreduce
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func wordCountJob(workers int) *Job[string, string, int, Pair[string, int]] {
+	return &Job[string, string, int, Pair[string, int]]{
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(key string, values []int, emit func(Pair[string, int])) {
+			total := 0
+			for _, v := range values {
+				total += v
+			}
+			emit(Pair[string, int]{key, total})
+		},
+		Workers: workers,
+		KeyLess: func(a, b string) bool { return a < b },
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	inputs := []string{"a b a", "b c", "a"}
+	out, stats := wordCountJob(3).Run(inputs)
+	want := []Pair[string, int]{{"a", 3}, {"b", 2}, {"c", 1}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("wordcount = %v, want %v", out, want)
+	}
+	if stats.Total() <= 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	inputs := []string{"x y z", "x x", "z y x", "w"}
+	base, _ := wordCountJob(1).Run(inputs)
+	for _, w := range []int{2, 4, 8, 16} {
+		got, _ := wordCountJob(w).Run(inputs)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: %v != %v", w, got, base)
+		}
+	}
+}
+
+func TestZeroWorkersTreatedAsOne(t *testing.T) {
+	j := wordCountJob(0)
+	out, _ := j.Run([]string{"a"})
+	if len(out) != 1 || out[0].Key != "a" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	out, _ := wordCountJob(2).Run(nil)
+	if len(out) != 0 {
+		t.Fatalf("empty input produced %v", out)
+	}
+}
+
+func TestReducerSeesAllValuesForKey(t *testing.T) {
+	j := &Job[int, int, int, int]{
+		Map: func(v int, emit func(int, int)) {
+			emit(v%3, v)
+		},
+		Reduce: func(key int, values []int, emit func(int)) {
+			emit(len(values))
+		},
+		Workers: 4,
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	inputs := make([]int, 30)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	out, _ := j.Run(inputs)
+	if !reflect.DeepEqual(out, []int{10, 10, 10}) {
+		t.Fatalf("group sizes = %v", out)
+	}
+}
+
+func TestMapRunsInParallel(t *testing.T) {
+	var running, peak int64
+	j := &Job[int, int, int, int]{
+		Map: func(v int, emit func(int, int)) {
+			cur := atomic.AddInt64(&running, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+					break
+				}
+			}
+			// Busy wait a little so workers overlap.
+			for i := 0; i < 100000; i++ {
+				_ = i
+			}
+			atomic.AddInt64(&running, -1)
+			emit(0, v)
+		},
+		Reduce:  func(key int, values []int, emit func(int)) { emit(len(values)) },
+		Workers: 8,
+	}
+	inputs := make([]int, 64)
+	out, _ := j.Run(inputs)
+	if len(out) != 1 || out[0] != 64 {
+		t.Fatalf("out = %v", out)
+	}
+	if atomic.LoadInt64(&peak) < 2 {
+		t.Skip("no observable parallelism on this machine (single CPU?)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	j := &Job[int, int, int, int]{}
+	if err := j.Validate(); err == nil {
+		t.Fatal("missing Map accepted")
+	}
+	j.Map = func(int, func(int, int)) {}
+	if err := j.Validate(); err == nil {
+		t.Fatal("missing Reduce accepted")
+	}
+	j.Reduce = func(int, []int, func(int)) {}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPanicsWithoutFunctions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run without Map/Reduce did not panic")
+		}
+	}()
+	j := &Job[int, int, int, int]{}
+	j.Run([]int{1})
+}
+
+func TestMultipleEmitsPerReduce(t *testing.T) {
+	j := &Job[int, int, int, int]{
+		Map:     func(v int, emit func(int, int)) { emit(0, v) },
+		Reduce:  func(key int, values []int, emit func(int)) { emit(key); emit(len(values)) },
+		Workers: 2,
+	}
+	out, _ := j.Run([]int{5, 6})
+	if len(out) != 2 || out[0] != 0 || out[1] != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}

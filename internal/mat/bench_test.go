@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func benchMatrices(n int) (*Matrix, *Matrix) {
+	rng := rand.New(rand.NewSource(1))
+	return Random(rng, n, n), Random(rng, n, n)
+}
+
+func BenchmarkMul64(b *testing.B) {
+	x, y := benchMatrices(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulTransB64(b *testing.B) {
+	x, y := benchMatrices(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulTransB(x, y)
+	}
+}
+
+func BenchmarkGramWide(b *testing.B) {
+	// HOSVD shape: few rows, many columns.
+	rng := rand.New(rand.NewSource(2))
+	x := Random(rng, 20, 4000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Gram(x)
+	}
+}
+
+func BenchmarkSymEig(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{16, 64} {
+		a := RandomSymmetric(rng, n)
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SymEig(a)
+			}
+		})
+	}
+}
+
+func BenchmarkSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{16, 64} {
+		a := Random(rng, n, n)
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SVD(a)
+			}
+		})
+	}
+}
+
+func BenchmarkQR(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := Random(rng, 128, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		QR(a)
+	}
+}
+
+func BenchmarkLUSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := RandomSPD(rng, 32)
+	rhs := make([]float64, 32)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKhatriRao(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := Random(rng, 64, 8)
+	y := Random(rng, 64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KhatriRao(x, y)
+	}
+}

@@ -1,0 +1,158 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// EigResult holds a symmetric eigendecomposition a = V·diag(λ)·Vᵀ with
+// eigenvalues sorted in decreasing order and eigenvectors as the columns
+// of V in matching order.
+type EigResult struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// jacobiMaxSweeps bounds the number of cyclic Jacobi sweeps. Convergence is
+// quadratic once off-diagonal mass is small; 64 sweeps is far beyond what
+// any conditioned input needs and guards against non-termination on NaNs.
+const jacobiMaxSweeps = 64
+
+// SymEig computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. Only the lower triangle is read; the input
+// is not modified. Eigenvalues are returned in decreasing order.
+//
+// Jacobi is chosen over QL/QR iteration because it is simple, numerically
+// robust (small relative errors even for tiny eigenvalues), and the Gram
+// matrices HOSVD feeds it are at most a few hundred rows.
+func SymEig(a *Matrix) EigResult {
+	if !a.IsSquare() {
+		panic("mat: SymEig requires a square matrix")
+	}
+	n := a.Rows
+	// Work on a symmetrised copy so tiny asymmetries from floating-point
+	// Gram accumulation do not bias the rotations.
+	w := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := (a.At(i, j) + a.At(j, i)) / 2
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+		}
+	}
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return s
+	}
+	var frob float64
+	for _, x := range w.Data {
+		frob += x * x
+	}
+	tol := 1e-28 * (frob + 1e-300)
+
+	for sweep := 0; sweep < jacobiMaxSweeps && offDiag() > tol; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Rotation angle zeroing w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e30 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Update rows/columns p and q of w.
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip := w.At(i, p)
+					aiq := w.At(i, q)
+					w.Set(i, p, c*aip-s*aiq)
+					w.Set(p, i, c*aip-s*aiq)
+					w.Set(i, q, s*aip+c*aiq)
+					w.Set(q, i, s*aip+c*aiq)
+				}
+				w.Set(p, p, app-t*apq)
+				w.Set(q, q, aqq+t*apq)
+				w.Set(p, q, 0)
+				w.Set(q, p, 0)
+
+				// Accumulate the rotation into the eigenvector matrix.
+				for i := 0; i < n; i++ {
+					vip := v.At(i, p)
+					viq := v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by decreasing eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newCol, v.At(i, oldCol))
+		}
+	}
+	canonicalizeColumnSigns(sortedVecs)
+	return EigResult{Values: sortedVals, Vectors: sortedVecs}
+}
+
+// LeadingEigenvectors returns the k eigenvectors of the symmetric matrix a
+// with the largest eigenvalues, as the columns of an n×k matrix. If k
+// exceeds n the result is zero-padded on the right.
+func LeadingEigenvectors(a *Matrix, k int) *Matrix {
+	eig := SymEig(a)
+	return eig.Vectors.FirstColumns(k)
+}
+
+// canonicalizeColumnSigns flips each column so its largest-magnitude entry
+// is positive. Eigenvectors are only defined up to sign; fixing it makes
+// decompositions deterministic and comparable across code paths (AVG and
+// SELECT fuse factor matrices from two decompositions and would otherwise
+// average/compare vectors with arbitrarily opposite signs).
+func canonicalizeColumnSigns(v *Matrix) {
+	for j := 0; j < v.Cols; j++ {
+		maxAbs, maxVal := 0.0, 0.0
+		for i := 0; i < v.Rows; i++ {
+			if ab := math.Abs(v.At(i, j)); ab > maxAbs {
+				maxAbs = ab
+				maxVal = v.At(i, j)
+			}
+		}
+		if maxVal < 0 {
+			for i := 0; i < v.Rows; i++ {
+				v.Set(i, j, -v.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package mat_test
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+func ExampleMul() {
+	a := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := mat.FromRows([][]float64{{5, 6}, {7, 8}})
+	c := mat.Mul(a, b)
+	fmt.Println(c.Row(0), c.Row(1))
+	// Output: [19 22] [43 50]
+}
+
+func ExampleSVD() {
+	// diag(3, 2) embedded in a tall matrix: singular values 3 and 2.
+	a := mat.FromRows([][]float64{{3, 0}, {0, 2}, {0, 0}})
+	r := mat.SVD(a)
+	fmt.Printf("%.0f %.0f\n", r.Values[0], r.Values[1])
+	// Output: 3 2
+}
+
+func ExampleSolve() {
+	a := mat.FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := mat.Solve(a, []float64{5, 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f %.0f\n", x[0], x[1])
+	// Output: 1 3
+}
+
+func ExampleKhatriRao() {
+	a := mat.FromRows([][]float64{{1, 2}})
+	b := mat.FromRows([][]float64{{3, 4}, {5, 6}})
+	kr := mat.KhatriRao(a, b)
+	fmt.Println(kr.Row(0), kr.Row(1))
+	// Output: [3 8] [5 12]
+}
+
+func ExampleRowNorm() {
+	// The "energy" M2TD-SELECT uses to pick factor rows.
+	u := mat.FromRows([][]float64{{3, 4}})
+	fmt.Println(mat.RowNorm(u, 0))
+	// Output: 5
+}

@@ -1,0 +1,81 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// KhatriRao returns the column-wise Khatri–Rao product a ⊙ b: for matrices
+// a (I×R) and b (J×R), the result is (I·J)×R with column r equal to the
+// Kronecker product of a's and b's r-th columns. Row ordering follows the
+// matricization convention used by CP-ALS: row index = i·J + j.
+func KhatriRao(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: KhatriRao column mismatch %d != %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows*b.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			orow := out.Row(i*b.Rows + j)
+			for r := range orow {
+				orow[r] = arow[r] * brow[r]
+			}
+		}
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a ∘ b. Shapes must match.
+func Hadamard(a, b *Matrix) *Matrix {
+	checkSameShape("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// PseudoInverseSym returns the Moore–Penrose pseudo-inverse of a symmetric
+// positive semi-definite matrix via its eigendecomposition, inverting only
+// eigenvalues above tol·λ_max. CP-ALS uses this to invert the Hadamard
+// product of factor Gram matrices, which turns singular when factors are
+// collinear.
+func PseudoInverseSym(a *Matrix, tol float64) *Matrix {
+	eig := SymEig(a)
+	n := a.Rows
+	cutoff := tol * math.Max(math.Abs(eig.Values[0]), 1e-300)
+	// pinv = V·diag(1/λ)·Vᵀ over eigenvalues above the cutoff.
+	scaled := New(n, n)
+	for j := 0; j < n; j++ {
+		if eig.Values[j] <= cutoff {
+			continue
+		}
+		inv := 1 / eig.Values[j]
+		for i := 0; i < n; i++ {
+			scaled.Set(i, j, eig.Vectors.At(i, j)*inv)
+		}
+	}
+	return MulTransB(scaled, eig.Vectors)
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse of a general
+// matrix via its SVD, inverting singular values above tol·σ_max.
+func PseudoInverse(a *Matrix, tol float64) *Matrix {
+	svd := SVD(a)
+	k := len(svd.Values)
+	cutoff := tol * math.Max(svd.Values[0], 1e-300)
+	// pinv = V·diag(1/σ)·Uᵀ.
+	scaled := New(svd.V.Rows, k)
+	for j := 0; j < k; j++ {
+		if svd.Values[j] <= cutoff {
+			continue
+		}
+		inv := 1 / svd.Values[j]
+		for i := 0; i < svd.V.Rows; i++ {
+			scaled.Set(i, j, svd.V.At(i, j)*inv)
+		}
+	}
+	return MulTransB(scaled, svd.U)
+}

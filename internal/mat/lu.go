@@ -1,0 +1,142 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by Solve and Invert when the matrix has no
+// usable pivot (is singular to working precision).
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LUResult holds an LU factorisation with partial pivoting: P·a = L·U,
+// stored compactly (L's unit diagonal implicit) with the pivot permutation.
+type LUResult struct {
+	lu    *Matrix
+	pivot []int
+	signs int // +1 or -1, parity of the permutation (for Det)
+}
+
+// LU factors a square matrix with partial pivoting.
+func LU(a *Matrix) (*LUResult, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("mat: LU requires a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	signs := 1
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if ab := math.Abs(lu.At(i, k)); ab > maxAbs {
+				maxAbs = ab
+				p = i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		pivot[k] = p
+		if p != k {
+			signs = -signs
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			lik := lu.At(i, k) * inv
+			lu.Set(i, k, lik)
+			if lik == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= lik * rk[j]
+			}
+		}
+	}
+	return &LUResult{lu: lu, pivot: pivot, signs: signs}, nil
+}
+
+// SolveVec solves a·x = b for a single right-hand side using the
+// factorisation.
+func (f *LUResult) SolveVec(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveVec rhs length %d != %d", len(b), n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply the row permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LUResult) Det() float64 {
+	d := float64(f.signs)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves a·x = b and returns x. The triple-pendulum simulator calls
+// this each integration step to invert the 3×3 mass matrix.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// Invert returns a⁻¹.
+func Invert(a *Matrix) (*Matrix, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := f.SolveVec(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,246 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b. Shapes must match.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b. Shapes must match.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Matrix) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// Average returns (a + b) / 2, the element-wise mean used by M2TD-AVG to
+// fuse pivot-mode factor matrices.
+func Average(a, b *Matrix) *Matrix {
+	checkSameShape("Average", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = (v + b.Data[i]) / 2
+	}
+	return out
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	// ikj loop order: stream b row-wise for cache friendliness.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulTransA returns aᵀ·b.
+func MulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransA shape mismatch (%d×%d)ᵀ · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bkj := range brow {
+				orow[j] += aki * bkj
+			}
+		}
+	}
+	return out
+}
+
+// MulTransB returns a·bᵀ.
+func MulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransB shape mismatch %d×%d · (%d×%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a·x.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %d×%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		var s float64
+		for k, v := range arow {
+			s += v * x[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// Gram returns a·aᵀ (the row Gram matrix). HOSVD uses this on mode-n
+// matricizations: left singular vectors of X are eigenvectors of X·Xᵀ.
+func Gram(a *Matrix) *Matrix { return MulTransB(a, a) }
+
+// FrobeniusNorm returns the Frobenius norm ‖a‖F.
+func FrobeniusNorm(a *Matrix) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// RowNorm returns the Euclidean norm of row i, the "energy" used by
+// M2TD-SELECT's row-selection rule (Algorithm 5).
+func RowNorm(a *Matrix, i int) float64 {
+	var s float64
+	for _, v := range a.Row(i) {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ColNorm returns the Euclidean norm of column j.
+func ColNorm(a *Matrix, j int) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		v := a.Data[i*a.Cols+j]
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// VecNorm returns the Euclidean norm of a vector.
+func VecNorm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ConcatRows returns the matrix [a; b] stacking b's rows below a's.
+// Column counts must match.
+func ConcatRows(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: ConcatRows column mismatch %d != %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows+b.Rows, a.Cols)
+	copy(out.Data[:len(a.Data)], a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// ConcatCols returns the matrix [a b] appending b's columns after a's.
+// Row counts must match. M2TD-CONCAT concatenates pivot-mode matricizations
+// this way before extracting singular vectors.
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: ConcatCols row mismatch %d != %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// IsOrthonormalCols reports whether the columns of a are orthonormal
+// within tol (aᵀa ≈ I).
+func IsOrthonormalCols(a *Matrix, tol float64) bool {
+	g := MulTransA(a, a)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(g.At(i, j)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %d×%d vs %d×%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

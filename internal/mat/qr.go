@@ -1,0 +1,127 @@
+package mat
+
+import "math"
+
+// QRResult holds a thin QR factorisation a = Q·R where Q is m×n with
+// orthonormal columns and R is n×n upper triangular (for m ≥ n).
+type QRResult struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QR computes the thin Householder QR factorisation of a (m×n, m ≥ n).
+// For m < n the full m×m Q is returned with the m×n R.
+func QR(a *Matrix) QRResult {
+	m, n := a.Rows, a.Cols
+	r := a.Clone()
+	k := n
+	if m < k {
+		k = m
+	}
+	// Store Householder vectors to accumulate Q afterwards.
+	vs := make([][]float64, 0, k)
+	for j := 0; j < k; j++ {
+		// Build the Householder vector for column j below the diagonal.
+		v := make([]float64, m-j)
+		var norm float64
+		for i := j; i < m; i++ {
+			v[i-j] = r.At(i, j)
+			norm += v[i-j] * v[i-j]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		if v[0] >= 0 {
+			v[0] += norm
+		} else {
+			v[0] -= norm
+		}
+		vnorm := VecNorm(v)
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		for i := range v {
+			v[i] /= vnorm
+		}
+		// Apply the reflector to the trailing block of R.
+		for c := j; c < n; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += v[i-j] * r.At(i, c)
+			}
+			dot *= 2
+			for i := j; i < m; i++ {
+				r.Set(i, c, r.At(i, c)-dot*v[i-j])
+			}
+		}
+		vs = append(vs, v)
+	}
+	// Accumulate Q by applying reflectors to the identity, in reverse.
+	qcols := k
+	q := New(m, qcols)
+	for j := 0; j < qcols; j++ {
+		q.Set(j, j, 1)
+	}
+	for j := k - 1; j >= 0; j-- {
+		v := vs[j]
+		if v == nil {
+			continue
+		}
+		for c := 0; c < qcols; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += v[i-j] * q.At(i, c)
+			}
+			dot *= 2
+			for i := j; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-dot*v[i-j])
+			}
+		}
+	}
+	// Extract the upper-triangular R (k×n).
+	rOut := New(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			rOut.Set(i, j, r.At(i, j))
+		}
+	}
+	return QRResult{Q: q, R: rOut}
+}
+
+// Orthonormalize returns a matrix whose columns form an orthonormal basis
+// for the column space of a, via modified Gram–Schmidt with
+// re-orthogonalisation. Zero (dependent) columns are replaced by zeros so
+// the output shape always matches the input; callers that need a strict
+// basis should check column norms.
+func Orthonormalize(a *Matrix) *Matrix {
+	m, n := a.Rows, a.Cols
+	q := a.Clone()
+	for j := 0; j < n; j++ {
+		// Two passes of Gram–Schmidt ("twice is enough").
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < j; p++ {
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += q.At(i, p) * q.At(i, j)
+				}
+				for i := 0; i < m; i++ {
+					q.Set(i, j, q.At(i, j)-dot*q.At(i, p))
+				}
+			}
+		}
+		norm := ColNorm(q, j)
+		if norm < 1e-12 {
+			for i := 0; i < m; i++ {
+				q.Set(i, j, 0)
+			}
+			continue
+		}
+		for i := 0; i < m; i++ {
+			q.Set(i, j, q.At(i, j)/norm)
+		}
+	}
+	return q
+}

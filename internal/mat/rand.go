@@ -1,0 +1,52 @@
+package mat
+
+import "math/rand"
+
+// Random returns an r×c matrix with entries drawn uniformly from [-1, 1).
+// All randomness in this module flows through explicit *rand.Rand values so
+// experiments are reproducible bit-for-bit.
+func Random(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// RandomOrthonormal returns an r×c matrix (c ≤ r) with orthonormal columns,
+// obtained by orthonormalising a random Gaussian matrix. Useful for
+// constructing synthetic low-rank tensors with known factors in tests.
+func RandomOrthonormal(rng *rand.Rand, r, c int) *Matrix {
+	if c > r {
+		panic("mat: RandomOrthonormal requires c <= r")
+	}
+	g := New(r, c)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	return Orthonormalize(g)
+}
+
+// RandomSymmetric returns an n×n symmetric matrix with entries in [-1, 1).
+func RandomSymmetric(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := 2*rng.Float64() - 1
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// RandomSPD returns a random symmetric positive-definite n×n matrix
+// (aᵀa + n·I for random a), handy for exercising LU and Solve.
+func RandomSPD(rng *rand.Rand, n int) *Matrix {
+	a := Random(rng, n, n)
+	spd := MulTransA(a, a)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	return spd
+}

@@ -1,0 +1,189 @@
+package ode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// expDecay: y' = -y, exact solution y(t) = y0·e^{-t}.
+func expDecay(t float64, y, dst []float64) { dst[0] = -y[0] }
+
+// harmonic oscillator: y” = -y as a 2-state system.
+func harmonic(t float64, y, dst []float64) {
+	dst[0] = y[1]
+	dst[1] = -y[0]
+}
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	got := RK4(expDecay, 0, 1, []float64{1}, 100)
+	want := math.Exp(-1)
+	if math.Abs(got[0]-want) > 1e-8 {
+		t.Fatalf("RK4 e^-1 = %v, want %v", got[0], want)
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	// Halving the step size should reduce error by ~2^4 = 16.
+	exact := math.Exp(-2)
+	err := func(n int) float64 {
+		y := RK4(expDecay, 0, 2, []float64{1}, n)
+		return math.Abs(y[0] - exact)
+	}
+	e1, e2 := err(20), err(40)
+	ratio := e1 / e2
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("convergence ratio = %v, want ≈16 (4th order)", ratio)
+	}
+}
+
+func TestRK4HarmonicOscillatorPeriod(t *testing.T) {
+	// After one full period 2π the oscillator returns to its start.
+	y := RK4(harmonic, 0, 2*math.Pi, []float64{1, 0}, 1000)
+	if math.Abs(y[0]-1) > 1e-6 || math.Abs(y[1]) > 1e-6 {
+		t.Fatalf("after period: %v, want [1 0]", y)
+	}
+}
+
+func TestRK4EnergyConservation(t *testing.T) {
+	// Harmonic oscillator conserves E = (y² + y'²)/2.
+	y := RK4(harmonic, 0, 10, []float64{0.5, 0.25}, 2000)
+	e0 := (0.5*0.5 + 0.25*0.25) / 2
+	e1 := (y[0]*y[0] + y[1]*y[1]) / 2
+	if math.Abs(e1-e0) > 1e-8 {
+		t.Fatalf("energy drifted: %v -> %v", e0, e1)
+	}
+}
+
+func TestRK4InvalidStepsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RK4 with n=0 did not panic")
+		}
+	}()
+	RK4(expDecay, 0, 1, []float64{1}, 0)
+}
+
+func TestRK4DoesNotMutateInitialState(t *testing.T) {
+	y0 := []float64{1, 0}
+	RK4(harmonic, 0, 1, y0, 10)
+	if y0[0] != 1 || y0[1] != 0 {
+		t.Fatal("RK4 mutated the initial state")
+	}
+}
+
+func TestTrajectorySamples(t *testing.T) {
+	traj := Trajectory(expDecay, 0, 1, []float64{1}, 4, 25)
+	if len(traj) != 4 {
+		t.Fatalf("got %d samples, want 4", len(traj))
+	}
+	for s, y := range traj {
+		tt := float64(s+1) * 0.25
+		if math.Abs(y[0]-math.Exp(-tt)) > 1e-8 {
+			t.Fatalf("sample %d = %v, want %v", s, y[0], math.Exp(-tt))
+		}
+	}
+}
+
+func TestTrajectoryMatchesRK4Endpoint(t *testing.T) {
+	traj := Trajectory(harmonic, 0, 3, []float64{1, 0}, 6, 10)
+	direct := RK4(harmonic, 0, 3, []float64{1, 0}, 60)
+	last := traj[len(traj)-1]
+	for i := range direct {
+		if math.Abs(last[i]-direct[i]) > 1e-12 {
+			t.Fatalf("Trajectory endpoint %v != RK4 %v", last, direct)
+		}
+	}
+}
+
+func TestTrajectoryInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Trajectory with zero samples did not panic")
+		}
+	}()
+	Trajectory(expDecay, 0, 1, []float64{1}, 0, 1)
+}
+
+func TestRK45ExponentialDecay(t *testing.T) {
+	got, err := RK45(expDecay, 0, 1, []float64{1}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-math.Exp(-1)) > 1e-8 {
+		t.Fatalf("RK45 e^-1 = %v", got[0])
+	}
+}
+
+func TestRK45ZeroSpan(t *testing.T) {
+	got, err := RK45(expDecay, 2, 2, []float64{5}, 1e-8)
+	if err != nil || got[0] != 5 {
+		t.Fatalf("zero-span integration: %v, %v", got, err)
+	}
+}
+
+func TestRK45Backward(t *testing.T) {
+	// Integrate backwards: y(0) from y(1) = e^{-1} should give 1.
+	got, err := RK45(expDecay, 1, 0, []float64{math.Exp(-1)}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 1e-7 {
+		t.Fatalf("backward integration = %v, want 1", got[0])
+	}
+}
+
+func TestRK45HarmonicAccuracy(t *testing.T) {
+	got, err := RK45(harmonic, 0, 2*math.Pi, []float64{1, 0}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 1e-6 || math.Abs(got[1]) > 1e-6 {
+		t.Fatalf("RK45 after period: %v", got)
+	}
+}
+
+func TestRK45InvalidTolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RK45 with tol=0 did not panic")
+		}
+	}()
+	RK45(expDecay, 0, 1, []float64{1}, 0)
+}
+
+// Property: RK4 and RK45 agree on smooth linear systems for random spans
+// and initial conditions.
+func TestRK4RK45AgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y0 := []float64{2*rng.Float64() - 1, 2*rng.Float64() - 1}
+		span := 0.5 + 2*rng.Float64()
+		a := RK4(harmonic, 0, span, y0, 2000)
+		b, err := RK45(harmonic, 0, span, y0, 1e-11)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a[0]-b[0]) < 1e-6 && math.Abs(a[1]-b[1]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(50))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity — integrating c·y0 gives c times the result of y0
+// for the linear decay system.
+func TestRK4LinearityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y0 := rng.Float64() + 0.1
+		c := rng.Float64()*3 + 0.5
+		a := RK4(expDecay, 0, 1, []float64{y0}, 50)
+		b := RK4(expDecay, 0, 1, []float64{c * y0}, 50)
+		return math.Abs(b[0]-c*a[0]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(51))}); err != nil {
+		t.Error(err)
+	}
+}

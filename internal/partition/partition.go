@@ -1,0 +1,308 @@
+// Package partition implements the paper's Pivoted/Fixed (PF-)partitioning
+// of a simulation parameter space (Section V-B): the N tensor modes are
+// split into k shared pivot modes and two halves of free modes; each
+// sub-system varies its pivot and free modes while fixing the other half's
+// modes at default "fixing constants". Sub-ensembles are generated with
+// common pivot configurations so they can later be stitched (package
+// stitch) and jointly decomposed (package core).
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ensemble"
+	"repro/internal/tensor"
+)
+
+// Config selects the pivot and free modes and the sub-ensemble densities.
+type Config struct {
+	// Pivots lists the original tensor modes shared by both sub-systems.
+	Pivots []int
+	// Free1 and Free2 list the original modes free in sub-system 1 and 2.
+	// Together with Pivots they must cover every mode exactly once.
+	Free1, Free2 []int
+	// PivotFrac is the paper's P knob: the fraction of pivot
+	// configurations included (1 = all).
+	PivotFrac float64
+	// FreeFrac is the paper's E knob: the fraction of free-mode
+	// configurations included per sub-system (1 = all).
+	FreeFrac float64
+}
+
+// Validate checks that the configuration covers all modes exactly once and
+// that the density knobs are in (0, 1].
+func (c Config) Validate(order int) error {
+	seen := make([]bool, order)
+	mark := func(modes []int, kind string) error {
+		for _, m := range modes {
+			if m < 0 || m >= order {
+				return fmt.Errorf("partition: %s mode %d out of range [0, %d)", kind, m, order)
+			}
+			if seen[m] {
+				return fmt.Errorf("partition: mode %d assigned twice", m)
+			}
+			seen[m] = true
+		}
+		return nil
+	}
+	if err := mark(c.Pivots, "pivot"); err != nil {
+		return err
+	}
+	if err := mark(c.Free1, "free1"); err != nil {
+		return err
+	}
+	if err := mark(c.Free2, "free2"); err != nil {
+		return err
+	}
+	for m, ok := range seen {
+		if !ok {
+			return fmt.Errorf("partition: mode %d not assigned", m)
+		}
+	}
+	if len(c.Pivots) == 0 {
+		return fmt.Errorf("partition: at least one pivot mode required")
+	}
+	if len(c.Free1) == 0 || len(c.Free2) == 0 {
+		return fmt.Errorf("partition: both sub-systems need free modes")
+	}
+	if c.PivotFrac <= 0 || c.PivotFrac > 1 {
+		return fmt.Errorf("partition: PivotFrac %v outside (0, 1]", c.PivotFrac)
+	}
+	if c.FreeFrac <= 0 || c.FreeFrac > 1 {
+		return fmt.Errorf("partition: FreeFrac %v outside (0, 1]", c.FreeFrac)
+	}
+	return nil
+}
+
+// DefaultConfig returns the PF-partitioning used throughout the paper's
+// evaluation: a single pivot mode with the remaining modes split into two
+// halves. pairs optionally lists parameter modes that must land in the
+// same half (for the double pendulum, {φ₁, m₁} and {φ₂, m₂}: "free
+// parameters of the same pendulum are kept in the same sub-system",
+// Table VIII). Halves are filled greedily, largest group first.
+func DefaultConfig(order, pivot int, pairs [][2]int) Config {
+	remaining := make([]int, 0, order-1)
+	for m := 0; m < order; m++ {
+		if m != pivot {
+			remaining = append(remaining, m)
+		}
+	}
+	inRemaining := func(m int) bool {
+		for _, r := range remaining {
+			if r == m {
+				return true
+			}
+		}
+		return false
+	}
+	// Build groups: intact pairs stay together; everything else is a
+	// singleton.
+	var groups [][]int
+	used := make(map[int]bool)
+	for _, p := range pairs {
+		if inRemaining(p[0]) && inRemaining(p[1]) && !used[p[0]] && !used[p[1]] {
+			groups = append(groups, []int{p[0], p[1]})
+			used[p[0]], used[p[1]] = true, true
+		}
+	}
+	for _, m := range remaining {
+		if !used[m] {
+			groups = append(groups, []int{m})
+		}
+	}
+	sort.SliceStable(groups, func(a, b int) bool { return len(groups[a]) > len(groups[b]) })
+	var h1, h2 []int
+	for _, g := range groups {
+		if len(h1) <= len(h2) {
+			h1 = append(h1, g...)
+		} else {
+			h2 = append(h2, g...)
+		}
+	}
+	sort.Ints(h1)
+	sort.Ints(h2)
+	return Config{Pivots: []int{pivot}, Free1: h1, Free2: h2, PivotFrac: 1, FreeFrac: 1}
+}
+
+// SubEnsemble is one PF-partitioned sub-system's simulation ensemble: a
+// low-order sparse tensor over the sub-system's modes, pivot modes first.
+type SubEnsemble struct {
+	// Modes maps sub-tensor mode position to the original tensor mode:
+	// pivots first (in Config order), then free modes.
+	Modes []int
+	// NumPivots is the number of leading pivot modes.
+	NumPivots int
+	// Tensor holds the sub-ensemble, shaped by the original mode sizes.
+	Tensor *tensor.Sparse
+	// NumSims is the number of simulation runs this sub-ensemble cost.
+	NumSims int
+}
+
+// Result is a PF-partitioned, sampled pair of sub-ensembles.
+type Result struct {
+	Space  *ensemble.Space
+	Config Config
+	Sub1   *SubEnsemble
+	Sub2   *SubEnsemble
+	// PivotConfigs are the shared pivot-mode index combinations both
+	// sub-ensembles were sampled at.
+	PivotConfigs [][]int
+	// Free1Configs and Free2Configs are the sampled free-mode index
+	// combinations for each sub-system.
+	Free1Configs [][]int
+	Free2Configs [][]int
+	// NumSims is the total simulation budget spent across both
+	// sub-ensembles.
+	NumSims int
+}
+
+// allConfigs enumerates every index combination over the given original
+// modes of the space.
+func allConfigs(space *ensemble.Space, modes []int) [][]int {
+	shape := space.Shape()
+	total := 1
+	for _, m := range modes {
+		total *= shape[m]
+	}
+	out := make([][]int, 0, total)
+	cur := make([]int, len(modes))
+	var walk func(pos int)
+	walk = func(pos int) {
+		if pos == len(modes) {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < shape[modes[pos]]; i++ {
+			cur[pos] = i
+			walk(pos + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// sampleConfigs returns ceil(frac·len(all)) configurations: all of them
+// when frac == 1, otherwise a uniform random subset (the paper samples
+// sub-systems randomly to study worst-case behaviour).
+func sampleConfigs(all [][]int, frac float64, rng *rand.Rand) [][]int {
+	if frac >= 1 {
+		return all
+	}
+	n := int(frac*float64(len(all)) + 0.999999)
+	if n < 1 {
+		n = 1
+	}
+	if n >= len(all) {
+		return all
+	}
+	perm := rng.Perm(len(all))
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[perm[i]]
+	}
+	return out
+}
+
+// Generate PF-partitions the space per cfg and simulates both
+// sub-ensembles. Both sub-systems share the same sampled pivot
+// configurations; free configurations are sampled independently.
+func Generate(space *ensemble.Space, cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.Validate(space.Order()); err != nil {
+		return nil, err
+	}
+	pivotConfigs := sampleConfigs(allConfigs(space, cfg.Pivots), cfg.PivotFrac, rng)
+	free1Configs := sampleConfigs(allConfigs(space, cfg.Free1), cfg.FreeFrac, rng)
+	free2Configs := sampleConfigs(allConfigs(space, cfg.Free2), cfg.FreeFrac, rng)
+
+	sub1 := buildSub(space, cfg.Pivots, cfg.Free1, pivotConfigs, free1Configs)
+	sub2 := buildSub(space, cfg.Pivots, cfg.Free2, pivotConfigs, free2Configs)
+
+	return &Result{
+		Space:        space,
+		Config:       cfg,
+		Sub1:         sub1,
+		Sub2:         sub2,
+		PivotConfigs: pivotConfigs,
+		Free1Configs: free1Configs,
+		Free2Configs: free2Configs,
+		NumSims:      sub1.NumSims + sub2.NumSims,
+	}, nil
+}
+
+// buildSub simulates one sub-system over the selected pivot × free
+// configurations. Modes outside pivot∪free are fixed at the space default
+// (parameters at the grid midpoint, time at the midpoint stamp). Each
+// distinct parameter combination is simulated once; all requested cells
+// are then read off its trajectory.
+func buildSub(space *ensemble.Space, pivots, free []int, pivotConfigs, freeConfigs [][]int) *SubEnsemble {
+	modes := append(append([]int(nil), pivots...), free...)
+	shape := space.Shape()
+	subShape := make(tensor.Shape, len(modes))
+	for i, m := range modes {
+		subShape[i] = shape[m]
+	}
+	sub := &SubEnsemble{
+		Modes:     modes,
+		NumPivots: len(pivots),
+		Tensor:    tensor.NewSparse(subShape),
+	}
+
+	nParams := space.NumParams()
+	timeMode := space.TimeMode()
+	defIdx := space.DefaultIndex()
+	defTime := space.TimeSamples / 2
+
+	// Enumerate requested cells, grouping by the parameter quadruple so
+	// each simulation runs once.
+	type cellReq struct {
+		subIdx []int
+		tIdx   int
+	}
+	bySim := make(map[int][]cellReq)
+	simIdxOf := make(map[int][]int)
+	full := make([]int, space.Order())
+	for _, pc := range pivotConfigs {
+		for _, fc := range freeConfigs {
+			for m := 0; m < nParams; m++ {
+				full[m] = defIdx
+			}
+			full[timeMode] = defTime
+			for i, m := range pivots {
+				full[m] = pc[i]
+			}
+			for i, m := range free {
+				full[m] = fc[i]
+			}
+			simKey := 0
+			for m := 0; m < nParams; m++ {
+				simKey = simKey*space.Res + full[m]
+			}
+			if _, ok := simIdxOf[simKey]; !ok {
+				simIdxOf[simKey] = append([]int(nil), full[:nParams]...)
+			}
+			subIdx := make([]int, len(modes))
+			for i, m := range modes {
+				subIdx[i] = full[m]
+			}
+			bySim[simKey] = append(bySim[simKey], cellReq{subIdx: subIdx, tIdx: full[timeMode]})
+		}
+	}
+
+	// Run each simulation once and emit its requested cells.
+	keys := make([]int, 0, len(bySim))
+	for k := range bySim {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // deterministic tensor layout
+	cells := simulateAll(space, keys, simIdxOf)
+	for _, k := range keys {
+		traj := cells[k]
+		for _, req := range bySim[k] {
+			sub.Tensor.Append(req.subIdx, traj[req.tIdx])
+		}
+	}
+	sub.NumSims = len(keys)
+	return sub
+}

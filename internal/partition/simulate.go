@@ -1,0 +1,37 @@
+package partition
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ensemble"
+)
+
+// simulateAll runs the simulations identified by keys (parameter grid
+// indices in simIdxOf) in parallel and returns each simulation's
+// per-timestamp cell values.
+func simulateAll(space *ensemble.Space, keys []int, simIdxOf map[int][]int) map[int][]float64 {
+	space.Reference() // materialise before fan-out
+	out := make(map[int][]float64, len(keys))
+	results := make([][]float64, len(keys))
+
+	workers := runtime.NumCPU()
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(keys); i += workers {
+				results[i] = space.SimCells(simIdxOf[keys[i]])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, k := range keys {
+		out[k] = results[i]
+	}
+	return out
+}

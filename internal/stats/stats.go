@@ -1,0 +1,95 @@
+// Package stats provides the summary statistics used to aggregate
+// experiment results across random seeds: mean, standard deviation, and
+// normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean. It panics on an empty sample.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// StdDev returns the sample standard deviation (0 for samples of size 1).
+// It panics on an empty sample.
+func StdDev(xs []float64) float64 { return Summarize(xs).Std }
+
+// CI95 returns the normal-approximation 95% confidence interval for the
+// mean (±1.96·σ/√n).
+func (s Summary) CI95() (lo, hi float64) {
+	if s.N == 0 {
+		return math.NaN(), math.NaN()
+	}
+	half := 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return s.Mean - half, s.Mean + half
+}
+
+// String renders "mean ± std (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.Std, s.N)
+}
+
+// GeoMean returns the geometric mean of strictly positive observations;
+// it returns NaN when any observation is non-positive. Used for
+// speedup-style ratios.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

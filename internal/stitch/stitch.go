@@ -1,0 +1,224 @@
+// Package stitch implements JE-stitching (Section V-C): combining two
+// PF-partitioned sub-ensembles into a single join tensor J over the full
+// parameter space, by joining simulations that agree on the shared pivot
+// configuration.
+//
+// Two variants are provided, matching the paper:
+//
+//   - Join: for every pair of sub-ensemble cells with equal pivot indices,
+//     J gets their average. With P pivot configurations and E free
+//     configurations per side this yields P·E² cells — the "effective
+//     density squaring" of Figure 6.
+//   - ZeroJoin: additionally, every sub-ensemble cell missing its partner
+//     is joined against a zero value over the full free grid of the other
+//     side, contributing x/2 cells. When sub-ensemble densities are low
+//     this boosts the effective density to roughly 2·P·E·F (F = full free
+//     grid size per side) and, per Table V, the resulting accuracy.
+package stitch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// pivotKey linearises the first k sub-tensor coordinates.
+func pivotKey(shape tensor.Shape, idx []int, k int) int {
+	key := 0
+	for i := 0; i < k; i++ {
+		key = key*shape[i] + idx[i]
+	}
+	return key
+}
+
+// subEntry is one sub-ensemble cell split into pivot part and free part.
+type subEntry struct {
+	free []int
+	val  float64
+}
+
+// index groups a sub-ensemble's cells by pivot configuration.
+func index(sub *partition.SubEnsemble) map[int][]subEntry {
+	k := sub.NumPivots
+	out := make(map[int][]subEntry)
+	sub.Tensor.Each(func(idx []int, v float64) {
+		key := pivotKey(sub.Tensor.Shape, idx, k)
+		out[key] = append(out[key], subEntry{free: append([]int(nil), idx[k:]...), val: v})
+	})
+	return out
+}
+
+// pivotIdxFromKey inverts pivotKey into the pivot coordinates.
+func pivotIdxFromKey(shape tensor.Shape, key, k int) []int {
+	idx := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		idx[i] = key % shape[i]
+		key /= shape[i]
+	}
+	return idx
+}
+
+// Join constructs the join tensor J in the original mode order by
+// averaging every pair of sub-ensemble cells that agree on the pivot
+// configuration (Section V-C.1).
+func Join(res *partition.Result) *tensor.Sparse {
+	return stitch(res, false)
+}
+
+// ZeroJoin constructs the zero-join tensor (Section V-C.2): matched pairs
+// are averaged as in Join, and unmatched cells are averaged with an
+// implicit zero over every unsampled free configuration of the other side.
+func ZeroJoin(res *partition.Result) *tensor.Sparse {
+	return stitch(res, true)
+}
+
+func stitch(res *partition.Result, zero bool) *tensor.Sparse {
+	space := res.Space
+	cfg := res.Config
+	k := len(cfg.Pivots)
+	j := tensor.NewSparse(space.Shape())
+
+	idx1 := index(res.Sub1)
+	idx2 := index(res.Sub2)
+
+	// Preallocate the COO arrays: the matched-pair count is known exactly,
+	// which avoids repeated growth of multi-megabyte slices at high
+	// densities (zero-join extensions still append beyond this).
+	matched := 0
+	for key, entries1 := range idx1 {
+		matched += len(entries1) * len(idx2[key])
+	}
+	j.Idx = make([]int, 0, matched*space.Order())
+	j.Vals = make([]float64, 0, matched)
+
+	full := make([]int, space.Order())
+	emit := func(pivotIdx, free1, free2 []int, v float64) {
+		for i, m := range cfg.Pivots {
+			full[m] = pivotIdx[i]
+		}
+		if free1 != nil {
+			for i, m := range cfg.Free1 {
+				full[m] = free1[i]
+			}
+		}
+		if free2 != nil {
+			for i, m := range cfg.Free2 {
+				full[m] = free2[i]
+			}
+		}
+		j.Append(full, v)
+	}
+
+	// Iterate pivot groups in sorted order so the join tensor's entry
+	// layout (and therefore floating-point accumulation order downstream)
+	// is deterministic.
+	keys1 := sortedKeys(idx1)
+	shape1 := res.Sub1.Tensor.Shape
+	for _, key := range keys1 {
+		entries1 := idx1[key]
+		entries2 := idx2[key]
+		pivotIdx := pivotIdxFromKey(shape1, key, k)
+		// Matched pairs: the average of the two simulation results.
+		for _, e1 := range entries1 {
+			for _, e2 := range entries2 {
+				emit(pivotIdx, e1.free, e2.free, (e1.val+e2.val)/2)
+			}
+		}
+		if !zero {
+			continue
+		}
+		// Zero-join extensions: each existing cell joined against the
+		// other side's unsampled free configurations with value 0.
+		sampled2 := freeSet(entries2)
+		eachFreeConfig(space, cfg.Free2, func(f2 []int) {
+			if sampled2[localKey(f2)] {
+				return
+			}
+			for _, e1 := range entries1 {
+				emit(pivotIdx, e1.free, f2, e1.val/2)
+			}
+		})
+		sampled1 := freeSet(entries1)
+		eachFreeConfig(space, cfg.Free1, func(f1 []int) {
+			if sampled1[localKey(f1)] {
+				return
+			}
+			for _, e2 := range entries2 {
+				emit(pivotIdx, f1, e2.free, e2.val/2)
+			}
+		})
+	}
+	// Pivot configurations sampled for sub-ensemble 2 only (possible in
+	// principle, though Generate always aligns them).
+	if zero {
+		shape2 := res.Sub2.Tensor.Shape
+		for _, key := range sortedKeys(idx2) {
+			if _, ok := idx1[key]; ok {
+				continue
+			}
+			entries2 := idx2[key]
+			pivotIdx := pivotIdxFromKey(shape2, key, k)
+			eachFreeConfig(space, cfg.Free1, func(f1 []int) {
+				for _, e2 := range entries2 {
+					emit(pivotIdx, f1, e2.free, e2.val/2)
+				}
+			})
+		}
+	}
+	return j
+}
+
+// sortedKeys returns the map's keys in increasing order.
+func sortedKeys(m map[int][]subEntry) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// freeSet returns the set of sampled free configurations.
+func freeSet(entries []subEntry) map[int]bool {
+	// Keys here only need to be unique within one pivot group; use a
+	// simple positional encoding with a large radix.
+	out := make(map[int]bool, len(entries))
+	for _, e := range entries {
+		out[localKey(e.free)] = true
+	}
+	return out
+}
+
+const localRadix = 1 << 20 // far above any mode size
+
+func localKey(idx []int) int {
+	key := 0
+	for _, i := range idx {
+		if i >= localRadix {
+			panic(fmt.Sprintf("stitch: mode index %d exceeds radix", i))
+		}
+		key = key*localRadix + i
+	}
+	return key
+}
+
+// eachFreeConfig enumerates every coordinate combination over the given
+// original modes.
+func eachFreeConfig(space interface{ Shape() tensor.Shape }, modes []int, fn func(idx []int)) {
+	shape := space.Shape()
+	cur := make([]int, len(modes))
+	var walk func(pos int)
+	walk = func(pos int) {
+		if pos == len(modes) {
+			fn(cur)
+			return
+		}
+		for i := 0; i < shape[modes[pos]]; i++ {
+			cur[pos] = i
+			walk(pos + 1)
+		}
+	}
+	walk(0)
+}

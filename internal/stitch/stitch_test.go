@@ -1,0 +1,190 @@
+package stitch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dynsys"
+	"repro/internal/ensemble"
+	"repro/internal/partition"
+)
+
+var doublePendulumPairs = [][2]int{{0, 2}, {1, 3}}
+
+func tinyResult(t *testing.T, freeFrac float64, seed int64) *partition.Result {
+	t.Helper()
+	space := ensemble.NewSpace(dynsys.NewDoublePendulum(), 4, 3)
+	cfg := partition.DefaultConfig(5, 4, doublePendulumPairs)
+	cfg.FreeFrac = freeFrac
+	res, err := partition.Generate(space, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestJoinFullDensitySize(t *testing.T) {
+	res := tinyResult(t, 1, 90)
+	j := Join(res)
+	// P · E1 · E2 = 3 timestamps × 16 × 16 free combos.
+	if got, want := j.NNZ(), 3*16*16; got != want {
+		t.Fatalf("join NNZ = %d, want %d", got, want)
+	}
+	if !j.Shape.Equal(res.Space.Shape()) {
+		t.Fatalf("join shape %v != space shape %v", j.Shape, res.Space.Shape())
+	}
+}
+
+func TestJoinValuesAreAverages(t *testing.T) {
+	res := tinyResult(t, 1, 91)
+	j := Join(res)
+	// Reconstruct the expected average for a handful of cells directly
+	// from the sub-tensors. Sub modes: pivots first.
+	sub1 := res.Sub1.Tensor.ToDense()
+	sub2 := res.Sub2.Tensor.ToDense()
+	cfg := res.Config
+	count := 0
+	j.Each(func(idx []int, v float64) {
+		if count > 50 {
+			return
+		}
+		count++
+		i1 := make([]int, 3)
+		i1[0] = idx[cfg.Pivots[0]]
+		for i, m := range cfg.Free1 {
+			i1[1+i] = idx[m]
+		}
+		i2 := make([]int, 3)
+		i2[0] = idx[cfg.Pivots[0]]
+		for i, m := range cfg.Free2 {
+			i2[1+i] = idx[m]
+		}
+		want := (sub1.At(i1...) + sub2.At(i2...)) / 2
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("join cell %v = %v, want %v", idx, v, want)
+		}
+	})
+}
+
+func TestJoinEffectiveDensityBeatsUnion(t *testing.T) {
+	// The core motivation (Figure 6): the join has far more cells than the
+	// union of sub-ensemble cells, for the same simulation budget.
+	res := tinyResult(t, 1, 92)
+	j := Join(res)
+	unionCells := res.Sub1.Tensor.NNZ() + res.Sub2.Tensor.NNZ()
+	if j.NNZ() <= unionCells {
+		t.Fatalf("join NNZ %d not larger than union %d", j.NNZ(), unionCells)
+	}
+}
+
+func TestJoinReducedDensity(t *testing.T) {
+	res := tinyResult(t, 0.25, 93)
+	j := Join(res)
+	// E = ceil(0.25·16) = 4 per side: P·E² = 3·16.
+	if got, want := j.NNZ(), 3*4*4; got != want {
+		t.Fatalf("join NNZ = %d, want %d", got, want)
+	}
+}
+
+func TestZeroJoinFullDensityEqualsJoin(t *testing.T) {
+	// At full sub-ensemble density there are no missing partners, so
+	// zero-join and join coincide.
+	res := tinyResult(t, 1, 94)
+	j := Join(res)
+	zj := ZeroJoin(res)
+	if j.NNZ() != zj.NNZ() {
+		t.Fatalf("zero-join NNZ %d != join NNZ %d at full density", zj.NNZ(), j.NNZ())
+	}
+	if math.Abs(j.Norm()-zj.Norm()) > 1e-12 {
+		t.Fatal("zero-join values differ from join at full density")
+	}
+}
+
+func TestZeroJoinDensityBoost(t *testing.T) {
+	res := tinyResult(t, 0.25, 95)
+	j := Join(res)
+	zj := ZeroJoin(res)
+	// Zero-join: matched P·E² plus 2·P·E·(F−E) half-cells.
+	p, e, f := 3, 4, 16
+	want := p*e*e + 2*p*e*(f-e)
+	if zj.NNZ() != want {
+		t.Fatalf("zero-join NNZ = %d, want %d", zj.NNZ(), want)
+	}
+	if zj.NNZ() <= j.NNZ() {
+		t.Fatal("zero-join did not boost density")
+	}
+}
+
+func TestZeroJoinHalfValues(t *testing.T) {
+	res := tinyResult(t, 0.25, 96)
+	zj := ZeroJoin(res)
+	sub1 := res.Sub1.Tensor.ToDense()
+	sub2 := res.Sub2.Tensor.ToDense()
+	cfg := res.Config
+	zj.Each(func(idx []int, v float64) {
+		i1 := []int{idx[cfg.Pivots[0]], idx[cfg.Free1[0]], idx[cfg.Free1[1]]}
+		i2 := []int{idx[cfg.Pivots[0]], idx[cfg.Free2[0]], idx[cfg.Free2[1]]}
+		x1 := sub1.At(i1...)
+		x2 := sub2.At(i2...)
+		// Dense sub-tensors have 0 at unsampled coordinates; since real
+		// simulation distances are almost surely nonzero, a 0 marks a
+		// missing partner and the expected value is the zero-join average.
+		want := (x1 + x2) / 2
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("zero-join cell %v = %v, want %v", idx, v, want)
+		}
+	})
+}
+
+func TestJoinDeterministic(t *testing.T) {
+	res := tinyResult(t, 0.5, 97)
+	a := Join(res)
+	b := Join(res)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("join size varies between runs")
+	}
+	for e := 0; e < a.NNZ(); e++ {
+		ia, va := a.Entry(e)
+		ib, vb := b.Entry(e)
+		if va != vb {
+			t.Fatal("join entry values vary between runs")
+		}
+		for k := range ia {
+			if ia[k] != ib[k] {
+				t.Fatal("join entry order varies between runs")
+			}
+		}
+	}
+}
+
+func TestJoinParameterPivot(t *testing.T) {
+	// Pivot on a parameter mode (φ1): join must still cover all 5 modes.
+	space := ensemble.NewSpace(dynsys.NewDoublePendulum(), 4, 3)
+	cfg := partition.DefaultConfig(5, 0, doublePendulumPairs)
+	res, err := partition.Generate(space, cfg, rand.New(rand.NewSource(98)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := Join(res)
+	if j.NNZ() == 0 {
+		t.Fatal("empty join for parameter pivot")
+	}
+	// Every join cell agrees with the average of its sub-cells; just check
+	// the shape and coordinate bounds here.
+	if !j.Shape.Equal(space.Shape()) {
+		t.Fatalf("join shape %v", j.Shape)
+	}
+}
+
+func TestJoinApproximatesGroundTruth(t *testing.T) {
+	// The stitched tensor should approximate Y far better than a guess of
+	// zero: relative error below 1.
+	res := tinyResult(t, 1, 99)
+	j := Join(res).ToDense()
+	y := res.Space.GroundTruth()
+	relErr := j.Sub(y).Norm() / y.Norm()
+	if relErr >= 1 {
+		t.Fatalf("join relative error %v, want < 1", relErr)
+	}
+}

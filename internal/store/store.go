@@ -1,0 +1,478 @@
+// Package store is a small block-based tensor store inspired by the
+// TensorDB line of work the paper builds on (its references [17], [22]):
+// ensemble tensors and Tucker decompositions are persisted to disk in a
+// chunked binary format with checksums, under a named catalog directory.
+//
+// Large ensemble tensors are written and read block-by-block (BlockSize
+// cells at a time), so the store streams rather than buffering whole
+// tensors in an encoder, and every file carries a CRC32 footer that Load
+// verifies before returning data.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// BlockSize is the number of cells per storage block.
+const BlockSize = 4096
+
+const (
+	magic   = "M2TDSTOR"
+	version = uint32(1)
+)
+
+// Kinds of stored objects.
+const (
+	kindSparse = uint8(1)
+	kindDense  = uint8(2)
+	kindTucker = uint8(3)
+)
+
+// ErrCorrupt is returned when a file fails checksum or structural
+// validation.
+var ErrCorrupt = errors.New("store: corrupt tensor file")
+
+// ErrNotFound is returned when a named object does not exist.
+var ErrNotFound = errors.New("store: object not found")
+
+// Store is a directory-backed tensor catalog.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validateName rejects names that would escape the catalog directory.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty object name")
+	}
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("store: invalid object name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name+".m2td")
+}
+
+// List returns the names of all stored objects, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".m2td") {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(e.Name(), ".m2td"))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete removes a stored object.
+func (s *Store) Delete(name string) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	err := os.Remove(s.path(name))
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// crcWriter wraps a writer, checksumming everything written.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func newCRCWriter(w io.Writer) *crcWriter {
+	return &crcWriter{w: w, crc: crc32.NewIEEE()}
+}
+
+// Write implements io.Writer, updating the running checksum.
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc.Write(p[:n])
+	return n, err
+}
+
+// crcReader wraps a reader, checksumming everything read.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func newCRCReader(r io.Reader) *crcReader {
+	return &crcReader{r: r, crc: crc32.NewIEEE()}
+}
+
+// Read implements io.Reader, updating the running checksum.
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
+}
+
+// writeFile writes an object atomically: header, body via fn, CRC footer,
+// then rename into place.
+func (s *Store) writeFile(name string, kind uint8, fn func(w io.Writer) error) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+
+	bw := bufio.NewWriter(tmp)
+	cw := newCRCWriter(bw)
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := binary.Write(cw, binary.LittleEndian, version); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := binary.Write(cw, binary.LittleEndian, kind); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := fn(cw); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Footer: CRC of everything before it (not checksummed itself).
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return os.Rename(tmpName, s.path(name))
+}
+
+// readFile opens an object, validates magic/version/kind, passes the body
+// reader to fn, and verifies the CRC footer afterwards.
+func (s *Store) readFile(name string, wantKind uint8, fn func(r io.Reader) error) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	f, err := os.Open(s.path(name))
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if st.Size() < int64(len(magic))+4+1+4 {
+		return ErrCorrupt
+	}
+	body := io.LimitReader(f, st.Size()-4)
+	cr := newCRCReader(bufio.NewReader(body))
+
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(cr, head); err != nil || string(head) != magic {
+		return ErrCorrupt
+	}
+	var ver uint32
+	if err := binary.Read(cr, binary.LittleEndian, &ver); err != nil || ver != version {
+		return ErrCorrupt
+	}
+	var kind uint8
+	if err := binary.Read(cr, binary.LittleEndian, &kind); err != nil {
+		return ErrCorrupt
+	}
+	if kind != wantKind {
+		return fmt.Errorf("store: object %q has kind %d, want %d", name, kind, wantKind)
+	}
+	if err := fn(cr); err != nil {
+		return err
+	}
+	// Drain any remaining body bytes into the checksum (robustness against
+	// partial readers), then verify the footer.
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return ErrCorrupt
+	}
+	var want uint32
+	if err := binary.Read(f, binary.LittleEndian, &want); err != nil {
+		return ErrCorrupt
+	}
+	if cr.crc.Sum32() != want {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// writeShape / readShape serialise tensor shapes.
+func writeShape(w io.Writer, shape tensor.Shape) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(shape))); err != nil {
+		return err
+	}
+	for _, d := range shape {
+		if err := binary.Write(w, binary.LittleEndian, uint64(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readShape(r io.Reader) (tensor.Shape, error) {
+	var order uint32
+	if err := binary.Read(r, binary.LittleEndian, &order); err != nil {
+		return nil, ErrCorrupt
+	}
+	if order > 64 {
+		return nil, ErrCorrupt
+	}
+	shape := make(tensor.Shape, order)
+	for i := range shape {
+		var d uint64
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, ErrCorrupt
+		}
+		if d > 1<<40 {
+			return nil, ErrCorrupt
+		}
+		shape[i] = int(d)
+	}
+	return shape, nil
+}
+
+// SaveSparse stores a sparse tensor in blocks of BlockSize cells.
+func (s *Store) SaveSparse(name string, t *tensor.Sparse) error {
+	return s.writeFile(name, kindSparse, func(w io.Writer) error {
+		if err := writeShape(w, t.Shape); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		nnz := t.NNZ()
+		if err := binary.Write(w, binary.LittleEndian, uint64(nnz)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		order := t.Order()
+		for start := 0; start < nnz; start += BlockSize {
+			end := start + BlockSize
+			if end > nnz {
+				end = nnz
+			}
+			// Block: cell count, then packed indices and values.
+			if err := binary.Write(w, binary.LittleEndian, uint32(end-start)); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			for e := start; e < end; e++ {
+				idx, v := t.Entry(e)
+				for k := 0; k < order; k++ {
+					if err := binary.Write(w, binary.LittleEndian, uint32(idx[k])); err != nil {
+						return fmt.Errorf("store: %w", err)
+					}
+				}
+				if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+					return fmt.Errorf("store: %w", err)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// LoadSparse reads a sparse tensor saved with SaveSparse.
+func (s *Store) LoadSparse(name string) (*tensor.Sparse, error) {
+	var out *tensor.Sparse
+	err := s.readFile(name, kindSparse, func(r io.Reader) error {
+		shape, err := readShape(r)
+		if err != nil {
+			return err
+		}
+		var nnz uint64
+		if err := binary.Read(r, binary.LittleEndian, &nnz); err != nil {
+			return ErrCorrupt
+		}
+		t := tensor.NewSparse(shape)
+		order := shape.Order()
+		idx := make([]int, order)
+		var read uint64
+		for read < nnz {
+			var count uint32
+			if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+				return ErrCorrupt
+			}
+			if count == 0 || uint64(count) > nnz-read {
+				return ErrCorrupt
+			}
+			for e := uint32(0); e < count; e++ {
+				for k := 0; k < order; k++ {
+					var i uint32
+					if err := binary.Read(r, binary.LittleEndian, &i); err != nil {
+						return ErrCorrupt
+					}
+					if int(i) >= shape[k] {
+						return ErrCorrupt
+					}
+					idx[k] = int(i)
+				}
+				var v float64
+				if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+					return ErrCorrupt
+				}
+				t.Append(idx, v)
+			}
+			read += uint64(count)
+		}
+		out = t
+		return nil
+	})
+	return out, err
+}
+
+// SaveDense stores a dense tensor, streaming BlockSize cells at a time.
+func (s *Store) SaveDense(name string, t *tensor.Dense) error {
+	return s.writeFile(name, kindDense, func(w io.Writer) error {
+		if err := writeShape(w, t.Shape); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for start := 0; start < len(t.Data); start += BlockSize {
+			end := start + BlockSize
+			if end > len(t.Data) {
+				end = len(t.Data)
+			}
+			if err := binary.Write(w, binary.LittleEndian, t.Data[start:end]); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// LoadDense reads a dense tensor saved with SaveDense.
+func (s *Store) LoadDense(name string) (*tensor.Dense, error) {
+	var out *tensor.Dense
+	err := s.readFile(name, kindDense, func(r io.Reader) error {
+		shape, err := readShape(r)
+		if err != nil {
+			return err
+		}
+		t := tensor.NewDense(shape)
+		if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+			return ErrCorrupt
+		}
+		out = t
+		return nil
+	})
+	return out, err
+}
+
+// SaveDecomposition stores a Tucker decomposition (core plus factors).
+func (s *Store) SaveDecomposition(name string, d tucker.Decomposition) error {
+	return s.writeFile(name, kindTucker, func(w io.Writer) error {
+		if err := writeShape(w, d.Core.Shape); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, d.Core.Data); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(d.Factors))); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, f := range d.Factors {
+			if err := binary.Write(w, binary.LittleEndian, uint64(f.Rows)); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint64(f.Cols)); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			if err := binary.Write(w, binary.LittleEndian, f.Data); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// LoadDecomposition reads a decomposition saved with SaveDecomposition.
+func (s *Store) LoadDecomposition(name string) (tucker.Decomposition, error) {
+	var out tucker.Decomposition
+	err := s.readFile(name, kindTucker, func(r io.Reader) error {
+		shape, err := readShape(r)
+		if err != nil {
+			return err
+		}
+		core := tensor.NewDense(shape)
+		if err := binary.Read(r, binary.LittleEndian, core.Data); err != nil {
+			return ErrCorrupt
+		}
+		var nf uint32
+		if err := binary.Read(r, binary.LittleEndian, &nf); err != nil || nf > 64 {
+			return ErrCorrupt
+		}
+		factors := make([]*mat.Matrix, nf)
+		ranks := make([]int, nf)
+		for i := range factors {
+			var rows, cols uint64
+			if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+				return ErrCorrupt
+			}
+			if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+				return ErrCorrupt
+			}
+			if rows > 1<<24 || cols > 1<<24 {
+				return ErrCorrupt
+			}
+			f := mat.New(int(rows), int(cols))
+			if err := binary.Read(r, binary.LittleEndian, f.Data); err != nil {
+				return ErrCorrupt
+			}
+			factors[i] = f
+			ranks[i] = int(cols)
+		}
+		out = tucker.Decomposition{Core: core, Factors: factors, Ranks: ranks}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func benchSparse5(b *testing.B, nnz int) *Sparse {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randomSparse(rng, Shape{12, 12, 12, 12, 12}, nnz)
+}
+
+func BenchmarkModeGramSparse(b *testing.B) {
+	s := benchSparse5(b, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ModeGram(s, 0)
+	}
+}
+
+func BenchmarkModeGramDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDense(rng, Shape{12, 12, 12, 12})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ModeGramDense(d, 0)
+	}
+}
+
+func BenchmarkTTMSparse(b *testing.B) {
+	s := benchSparse5(b, 20000)
+	m := mat.Random(rand.New(rand.NewSource(3)), 4, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TTMSparse(s, 0, m)
+	}
+}
+
+func BenchmarkTTMDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d := randomDense(rng, Shape{12, 12, 12, 12})
+	m := mat.Random(rng, 4, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TTM(d, 0, m)
+	}
+}
+
+func BenchmarkMatricize(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDense(rng, Shape{12, 12, 12, 12})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matricize(d, 1)
+	}
+}
+
+func BenchmarkTuckerReconstruct(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	core := randomDense(rng, Shape{4, 4, 4, 4})
+	us := make([]*mat.Matrix, 4)
+	for n := range us {
+		us[n] = mat.RandomOrthonormal(rng, 12, 4)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TuckerReconstruct(core, us)
+	}
+}
+
+func BenchmarkSparseDedup(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomSparse(rng, Shape{16, 16, 16}, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := base.Clone()
+		// Duplicate every entry once.
+		s.Idx = append(s.Idx, base.Idx...)
+		s.Vals = append(s.Vals, base.Vals...)
+		b.StartTimer()
+		s.Dedup(SumDuplicates)
+	}
+}

@@ -1,0 +1,43 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+func ExampleShape_LinearIndex() {
+	shape := tensor.Shape{2, 3, 4}
+	fmt.Println(shape.LinearIndex([]int{1, 2, 3}))
+	// Output: 23
+}
+
+func ExampleMatricize() {
+	// A 2×2 matrix is its own mode-0 matricization.
+	d := tensor.DenseFromSlice(tensor.Shape{2, 2}, []float64{1, 2, 3, 4})
+	m := tensor.Matricize(d, 0)
+	fmt.Println(m.Row(0), m.Row(1))
+	// Output: [1 2] [3 4]
+}
+
+func ExampleSparse_Density() {
+	s := tensor.NewSparse(tensor.Shape{10, 10})
+	s.Append([]int{3, 4}, 1.5)
+	fmt.Println(s.Density())
+	// Output: 0.01
+}
+
+func ExampleSparse_Dedup() {
+	s := tensor.NewSparse(tensor.Shape{2})
+	s.Append([]int{0}, 1)
+	s.Append([]int{0}, 3)
+	s.Dedup(tensor.MeanDuplicates)
+	fmt.Println(s.NNZ(), s.Vals[0])
+	// Output: 1 2
+}
+
+func ExampleDense_SliceMode() {
+	d := tensor.DenseFromSlice(tensor.Shape{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	fmt.Println(d.SliceMode(0, 1).Data)
+	// Output: [4 5 6]
+}

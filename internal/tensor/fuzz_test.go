@@ -1,0 +1,74 @@
+package tensor
+
+import "testing"
+
+// FuzzLinearIndexRoundtrip checks that MultiIndex inverts LinearIndex for
+// arbitrary small shapes and positions.
+func FuzzLinearIndexRoundtrip(f *testing.F) {
+	f.Add(2, 3, 4, 10)
+	f.Add(1, 1, 1, 0)
+	f.Add(5, 2, 7, 33)
+	f.Fuzz(func(t *testing.T, d0, d1, d2, lin int) {
+		if d0 < 1 || d1 < 1 || d2 < 1 || d0 > 12 || d1 > 12 || d2 > 12 {
+			t.Skip()
+		}
+		shape := Shape{d0, d1, d2}
+		n := shape.NumElements()
+		if lin < 0 || lin >= n {
+			t.Skip()
+		}
+		idx := make([]int, 3)
+		shape.MultiIndex(lin, idx)
+		if got := shape.LinearIndex(idx); got != lin {
+			t.Fatalf("roundtrip %d -> %v -> %d for shape %v", lin, idx, got, shape)
+		}
+		// The matricization column index must stay within bounds for all
+		// modes.
+		for mode := 0; mode < 3; mode++ {
+			col := shape.MatricizeColumn(mode, idx)
+			if col < 0 || col >= shape.MatricizeCols(mode) {
+				t.Fatalf("column %d out of range for mode %d, shape %v", col, mode, shape)
+			}
+		}
+	})
+}
+
+// FuzzDedupPreservesSum checks that summing duplicates preserves the total
+// mass of a sparse tensor.
+func FuzzDedupPreservesSum(f *testing.F) {
+	f.Add(int64(1), 10)
+	f.Add(int64(7), 30)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 1 || n > 200 {
+			t.Skip()
+		}
+		shape := Shape{3, 3}
+		s := NewSparse(shape)
+		// Deterministic pseudo-random fill with duplicates.
+		x := seed
+		var total float64
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			a := int((x >> 33) & 1)
+			b := int((x >> 34) & 1)
+			v := float64(int32(x>>35%1000)) / 100
+			s.Append([]int{a, b}, v)
+			total += v
+		}
+		s.Dedup(SumDuplicates)
+		var after float64
+		s.Each(func(idx []int, v float64) { after += v })
+		if diff := total - after; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("Dedup changed total mass: %v -> %v", total, after)
+		}
+		// No duplicates remain.
+		seen := map[int]bool{}
+		s.Each(func(idx []int, v float64) {
+			lin := shape.LinearIndex(idx)
+			if seen[lin] {
+				t.Fatalf("duplicate survives Dedup at %v", idx)
+			}
+			seen[lin] = true
+		})
+	})
+}

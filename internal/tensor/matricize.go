@@ -1,0 +1,154 @@
+package tensor
+
+import (
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Matricize returns the mode-n matricization X(n) of a dense tensor as an
+// I_n × Π_{k≠n} I_k matrix.
+func Matricize(d *Dense, n int) *mat.Matrix {
+	shape := d.Shape
+	rows := shape[n]
+	cols := shape.MatricizeCols(n)
+	out := mat.New(rows, cols)
+	idx := make([]int, shape.Order())
+	for lin, v := range d.Data {
+		if v == 0 {
+			continue
+		}
+		shape.MultiIndex(lin, idx)
+		out.Set(idx[n], shape.MatricizeColumn(n, idx), v)
+	}
+	return out
+}
+
+// Fold inverts Matricize: it reshapes an I_n × Π_{k≠n} I_k matrix back into
+// a dense tensor with the given shape.
+func Fold(m *mat.Matrix, n int, shape Shape) *Dense {
+	if m.Rows != shape[n] || m.Cols != shape.MatricizeCols(n) {
+		panic("tensor: Fold dimensions do not match shape")
+	}
+	out := NewDense(shape)
+	order := shape.Order()
+	idx := make([]int, order)
+	// Enumerate columns by iterating the non-n modes in the matricization's
+	// little-endian order (first non-n mode varies fastest).
+	modes := make([]int, 0, order-1)
+	for k := 0; k < order; k++ {
+		if k != n {
+			modes = append(modes, k)
+		}
+	}
+	for col := 0; col < m.Cols; col++ {
+		c := col
+		for _, k := range modes {
+			idx[k] = c % shape[k]
+			c /= shape[k]
+		}
+		for r := 0; r < m.Rows; r++ {
+			idx[n] = r
+			out.Data[shape.LinearIndex(idx)] = m.At(r, col)
+		}
+	}
+	return out
+}
+
+// ModeGram computes G = X(n) · X(n)ᵀ (an I_n × I_n matrix) directly from
+// sparse coordinates, without materialising the matricization whose column
+// count is the product of all other mode sizes.
+//
+// Entries are bucketed by matricization column; within one column the
+// contribution to G is the outer product of the column's sparse rows. This
+// is the workhorse behind sparse HOSVD: left singular vectors of X(n) are
+// the leading eigenvectors of G.
+func ModeGram(s *Sparse, n int) *mat.Matrix {
+	rows := s.Shape[n]
+	g := mat.New(rows, rows)
+	nnz := s.NNZ()
+	if nnz == 0 {
+		return g
+	}
+	o := s.Order()
+
+	// Collect (column, row, value) triples and sort by column.
+	type triple struct {
+		col int
+		row int
+		val float64
+	}
+	ts := make([]triple, nnz)
+	for e := 0; e < nnz; e++ {
+		idx := s.Idx[e*o : (e+1)*o]
+		ts[e] = triple{col: s.Shape.MatricizeColumn(n, idx), row: idx[n], val: s.Vals[e]}
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a].col < ts[b].col })
+
+	// For each column group, accumulate the symmetric outer product.
+	for start := 0; start < nnz; {
+		end := start + 1
+		for end < nnz && ts[end].col == ts[start].col {
+			end++
+		}
+		for a := start; a < end; a++ {
+			ga := g.Row(ts[a].row)
+			va := ts[a].val
+			for b := start; b < end; b++ {
+				ga[ts[b].row] += va * ts[b].val
+			}
+		}
+		start = end
+	}
+	return g
+}
+
+// ModeGramDense computes X(n)·X(n)ᵀ for a dense tensor without allocating
+// the matricization; useful when the unfolding's column count is large.
+func ModeGramDense(d *Dense, n int) *mat.Matrix {
+	rows := d.Shape[n]
+	g := mat.New(rows, rows)
+	shape := d.Shape
+	strides := shape.Strides()
+	stride := strides[n]
+	// Iterate over all "columns" (fixed values of the other modes): for each
+	// we have a length-I_n fiber spaced by stride.
+	total := shape.NumElements()
+	fiber := make([]float64, rows)
+	idx := make([]int, shape.Order())
+	for lin := 0; lin < total; lin++ {
+		shape.MultiIndex(lin, idx)
+		if idx[n] != 0 {
+			continue // visit each fiber once, at its idx[n]==0 element
+		}
+		base := lin
+		zero := true
+		for r := 0; r < rows; r++ {
+			fiber[r] = d.Data[base+r*stride]
+			if fiber[r] != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			continue
+		}
+		for a := 0; a < rows; a++ {
+			if fiber[a] == 0 {
+				continue
+			}
+			ga := g.Row(a)
+			va := fiber[a]
+			for b := 0; b < rows; b++ {
+				ga[b] += va * fiber[b]
+			}
+		}
+	}
+	return g
+}
+
+// LeadingModeVectors returns the r leading left singular vectors of the
+// mode-n matricization of the sparse tensor, as an I_n × r matrix, via the
+// Gram eigendecomposition route.
+func LeadingModeVectors(s *Sparse, n, r int) *mat.Matrix {
+	return mat.LeadingEigenvectors(ModeGram(s, n), r)
+}

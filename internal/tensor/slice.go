@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SliceMode fixes one mode of a dense tensor at the given index and
+// returns the resulting (N−1)-mode tensor. For an ensemble tensor this
+// extracts, e.g., the snapshot of all parameter combinations at one
+// timestamp.
+func (d *Dense) SliceMode(mode, index int) *Dense {
+	checkSliceArgs(d.Shape, mode, index)
+	outShape := make(Shape, 0, d.Shape.Order()-1)
+	for k, s := range d.Shape {
+		if k != mode {
+			outShape = append(outShape, s)
+		}
+	}
+	out := NewDense(outShape)
+	idx := make([]int, d.Shape.Order())
+	outIdx := make([]int, outShape.Order())
+	for lin, v := range d.Data {
+		d.Shape.MultiIndex(lin, idx)
+		if idx[mode] != index {
+			continue
+		}
+		p := 0
+		for k, i := range idx {
+			if k != mode {
+				outIdx[p] = i
+				p++
+			}
+		}
+		out.Data[outShape.LinearIndex(outIdx)] = v
+	}
+	return out
+}
+
+// SliceMode fixes one mode of a sparse tensor at the given index and
+// returns the resulting (N−1)-mode sparse tensor.
+func (s *Sparse) SliceMode(mode, index int) *Sparse {
+	checkSliceArgs(s.Shape, mode, index)
+	outShape := make(Shape, 0, s.Order()-1)
+	for k, sz := range s.Shape {
+		if k != mode {
+			outShape = append(outShape, sz)
+		}
+	}
+	out := NewSparse(outShape)
+	outIdx := make([]int, outShape.Order())
+	s.Each(func(idx []int, v float64) {
+		if idx[mode] != index {
+			return
+		}
+		p := 0
+		for k, i := range idx {
+			if k != mode {
+				outIdx[p] = i
+				p++
+			}
+		}
+		out.Append(outIdx, v)
+	})
+	return out
+}
+
+// FiberNorms returns, for the given mode, the Euclidean norm of each of
+// its hyperslices: out[i] = ‖X(mode = i)‖F. Useful for locating which
+// parameter values carry the most ensemble energy.
+func (s *Sparse) FiberNorms(mode int) []float64 {
+	if mode < 0 || mode >= s.Order() {
+		panic(fmt.Sprintf("tensor: FiberNorms mode %d out of range", mode))
+	}
+	sums := make([]float64, s.Shape[mode])
+	s.Each(func(idx []int, v float64) {
+		sums[idx[mode]] += v * v
+	})
+	for i, v := range sums {
+		sums[i] = math.Sqrt(v)
+	}
+	return sums
+}
+
+func checkSliceArgs(shape Shape, mode, index int) {
+	if mode < 0 || mode >= shape.Order() {
+		panic(fmt.Sprintf("tensor: slice mode %d out of range for order %d", mode, shape.Order()))
+	}
+	if index < 0 || index >= shape[mode] {
+		panic(fmt.Sprintf("tensor: slice index %d out of range for mode size %d", index, shape[mode]))
+	}
+	if shape.Order() < 2 {
+		panic("tensor: cannot slice an order-1 tensor")
+	}
+}

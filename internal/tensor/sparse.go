@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is an N-mode tensor in coordinate (COO) format. Indices are stored
+// flattened: entry e occupies Idx[e*order : (e+1)*order]. Duplicate
+// coordinates are permitted until Dedup is called; most builders in this
+// module produce duplicate-free tensors directly.
+type Sparse struct {
+	Shape Shape
+	Idx   []int
+	Vals  []float64
+}
+
+// NewSparse returns an empty sparse tensor with the given shape.
+func NewSparse(shape Shape) *Sparse {
+	return &Sparse{Shape: shape.Clone()}
+}
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.Vals) }
+
+// Order returns the number of modes.
+func (s *Sparse) Order() int { return s.Shape.Order() }
+
+// Append adds an entry at the multi-index (copied). Bounds are checked.
+func (s *Sparse) Append(idx []int, v float64) {
+	if len(idx) != s.Order() {
+		panic(fmt.Sprintf("tensor: Append index order %d != %d", len(idx), s.Order()))
+	}
+	for k, i := range idx {
+		if i < 0 || i >= s.Shape[k] {
+			panic(fmt.Sprintf("tensor: Append index %v out of range for shape %v", idx, s.Shape))
+		}
+	}
+	s.Idx = append(s.Idx, idx...)
+	s.Vals = append(s.Vals, v)
+}
+
+// Entry returns the multi-index slice (aliasing internal storage; do not
+// mutate) and value of the e-th stored entry.
+func (s *Sparse) Entry(e int) ([]int, float64) {
+	o := s.Order()
+	return s.Idx[e*o : (e+1)*o], s.Vals[e]
+}
+
+// Each invokes fn for every stored entry. The index slice aliases internal
+// storage and must not be retained or mutated.
+func (s *Sparse) Each(fn func(idx []int, v float64)) {
+	o := s.Order()
+	for e := 0; e < len(s.Vals); e++ {
+		fn(s.Idx[e*o:(e+1)*o], s.Vals[e])
+	}
+}
+
+// Norm returns the Frobenius norm over stored entries. The tensor must be
+// duplicate-free for this to equal the mathematical norm.
+func (s *Sparse) Norm() float64 {
+	var sum float64
+	for _, v := range s.Vals {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Density returns NNZ divided by the total number of cells.
+func (s *Sparse) Density() float64 {
+	total := s.Shape.NumElements()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.NNZ()) / float64(total)
+}
+
+// Clone returns a deep copy.
+func (s *Sparse) Clone() *Sparse {
+	out := NewSparse(s.Shape)
+	out.Idx = append([]int(nil), s.Idx...)
+	out.Vals = append([]float64(nil), s.Vals...)
+	return out
+}
+
+// ToDense materialises the tensor densely, summing duplicates.
+func (s *Sparse) ToDense() *Dense {
+	d := NewDense(s.Shape)
+	s.Each(func(idx []int, v float64) {
+		d.Data[s.Shape.LinearIndex(idx)] += v
+	})
+	return d
+}
+
+// Dedup merges duplicate coordinates using the combiner (e.g. sum or mean
+// of the duplicates) and sorts entries by linear index. The combiner
+// receives all values recorded for one coordinate.
+func (s *Sparse) Dedup(combine func(vals []float64) float64) {
+	if s.NNZ() == 0 {
+		return
+	}
+	o := s.Order()
+	lin := make([]int, s.NNZ())
+	for e := 0; e < s.NNZ(); e++ {
+		lin[e] = s.Shape.LinearIndex(s.Idx[e*o : (e+1)*o])
+	}
+	perm := make([]int, s.NNZ())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return lin[perm[a]] < lin[perm[b]] })
+
+	newIdx := make([]int, 0, len(s.Idx))
+	newVals := make([]float64, 0, len(s.Vals))
+	group := make([]float64, 0, 4)
+	flush := func(e int) {
+		newIdx = append(newIdx, s.Idx[e*o:(e+1)*o]...)
+		newVals = append(newVals, combine(group))
+		group = group[:0]
+	}
+	for i := 0; i < len(perm); i++ {
+		group = append(group, s.Vals[perm[i]])
+		if i+1 == len(perm) || lin[perm[i+1]] != lin[perm[i]] {
+			flush(perm[i])
+		}
+	}
+	s.Idx, s.Vals = newIdx, newVals
+}
+
+// SumDuplicates is a Dedup combiner that sums duplicate values.
+func SumDuplicates(vals []float64) float64 {
+	var t float64
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}
+
+// MeanDuplicates is a Dedup combiner that averages duplicate values.
+func MeanDuplicates(vals []float64) float64 {
+	return SumDuplicates(vals) / float64(len(vals))
+}
+
+// SortByMode sorts entries lexicographically with the given mode as the
+// primary key (remaining modes in order), grouping cells that share a
+// value along that mode — e.g. all cells of one pivot configuration.
+func (s *Sparse) SortByMode(mode int) {
+	o := s.Order()
+	n := s.NNZ()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	less := func(a, b int) bool {
+		ia := s.Idx[perm[a]*o : (perm[a]+1)*o]
+		ib := s.Idx[perm[b]*o : (perm[b]+1)*o]
+		if ia[mode] != ib[mode] {
+			return ia[mode] < ib[mode]
+		}
+		for k := 0; k < o; k++ {
+			if k == mode {
+				continue
+			}
+			if ia[k] != ib[k] {
+				return ia[k] < ib[k]
+			}
+		}
+		return false
+	}
+	sort.Slice(perm, less)
+	newIdx := make([]int, len(s.Idx))
+	newVals := make([]float64, n)
+	for to, from := range perm {
+		copy(newIdx[to*o:(to+1)*o], s.Idx[from*o:(from+1)*o])
+		newVals[to] = s.Vals[from]
+	}
+	s.Idx, s.Vals = newIdx, newVals
+}

@@ -1,0 +1,337 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomDense(rng *rand.Rand, shape Shape) *Dense {
+	d := NewDense(shape)
+	for i := range d.Data {
+		d.Data[i] = 2*rng.Float64() - 1
+	}
+	return d
+}
+
+func randomSparse(rng *rand.Rand, shape Shape, nnz int) *Sparse {
+	// Sample distinct linear indices so the result is duplicate-free.
+	total := shape.NumElements()
+	if nnz > total {
+		nnz = total
+	}
+	seen := make(map[int]bool, nnz)
+	s := NewSparse(shape)
+	idx := make([]int, shape.Order())
+	for len(seen) < nnz {
+		lin := rng.Intn(total)
+		if seen[lin] {
+			continue
+		}
+		seen[lin] = true
+		shape.MultiIndex(lin, idx)
+		s.Append(idx, rng.NormFloat64())
+	}
+	return s
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{3, 4, 5}
+	if s.NumElements() != 60 {
+		t.Fatalf("NumElements = %d, want 60", s.NumElements())
+	}
+	if s.Order() != 3 {
+		t.Fatalf("Order = %d, want 3", s.Order())
+	}
+	if !s.Clone().Equal(s) {
+		t.Fatal("Clone not equal")
+	}
+	if s.Equal(Shape{3, 4}) || s.Equal(Shape{3, 4, 6}) {
+		t.Fatal("Equal false positive")
+	}
+	st := s.Strides()
+	if st[0] != 20 || st[1] != 5 || st[2] != 1 {
+		t.Fatalf("Strides = %v, want [20 5 1]", st)
+	}
+}
+
+func TestLinearMultiIndexRoundtrip(t *testing.T) {
+	s := Shape{2, 3, 4}
+	idx := make([]int, 3)
+	for lin := 0; lin < s.NumElements(); lin++ {
+		s.MultiIndex(lin, idx)
+		if got := s.LinearIndex(idx); got != lin {
+			t.Fatalf("roundtrip: lin %d -> %v -> %d", lin, idx, got)
+		}
+	}
+}
+
+func TestLinearIndexPanics(t *testing.T) {
+	s := Shape{2, 2}
+	for _, bad := range [][]int{{2, 0}, {-1, 0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LinearIndex(%v) did not panic", bad)
+				}
+			}()
+			s.LinearIndex(bad)
+		}()
+	}
+}
+
+func TestMatricizeColumnConvention(t *testing.T) {
+	// Kolda–Bader example-style check: for shape (I1,I2,I3) and mode 0,
+	// column = i2 + i3*I2 (little-endian over non-n modes in mode order).
+	s := Shape{2, 3, 4}
+	if got := s.MatricizeColumn(0, []int{1, 2, 3}); got != 2+3*3 {
+		t.Fatalf("MatricizeColumn mode 0 = %d, want 11", got)
+	}
+	if got := s.MatricizeColumn(1, []int{1, 2, 3}); got != 1+3*2 {
+		t.Fatalf("MatricizeColumn mode 1 = %d, want 7", got)
+	}
+	if got := s.MatricizeCols(1); got != 8 {
+		t.Fatalf("MatricizeCols(1) = %d, want 8", got)
+	}
+}
+
+func TestDenseAtSet(t *testing.T) {
+	d := NewDense(Shape{2, 3})
+	d.Set(5, 1, 2)
+	if d.At(1, 2) != 5 {
+		t.Fatalf("At = %v, want 5", d.At(1, 2))
+	}
+	if d.At(0, 0) != 0 {
+		t.Fatal("unset element should be zero")
+	}
+}
+
+func TestDenseFromSlice(t *testing.T) {
+	d := DenseFromSlice(Shape{2, 2}, []float64{1, 2, 3, 4})
+	// C order: last mode fastest.
+	if d.At(0, 1) != 2 || d.At(1, 0) != 3 {
+		t.Fatalf("C-order layout broken: %v", d.Data)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched DenseFromSlice did not panic")
+		}
+	}()
+	DenseFromSlice(Shape{2, 2}, []float64{1})
+}
+
+func TestDenseArithmetic(t *testing.T) {
+	a := DenseFromSlice(Shape{2, 2}, []float64{1, 2, 3, 4})
+	b := DenseFromSlice(Shape{2, 2}, []float64{5, 6, 7, 8})
+	if got := a.Add(b); got.Data[3] != 12 {
+		t.Fatalf("Add = %v", got.Data)
+	}
+	if got := b.Sub(a); got.Data[0] != 4 {
+		t.Fatalf("Sub = %v", got.Data)
+	}
+	if got := a.Clone().Scale(2); got.Data[1] != 4 {
+		t.Fatalf("Scale = %v", got.Data)
+	}
+	if n := DenseFromSlice(Shape{2}, []float64{3, 4}).Norm(); math.Abs(n-5) > 1e-14 {
+		t.Fatalf("Norm = %v, want 5", n)
+	}
+	if !a.Equal(a.Clone(), 0) {
+		t.Fatal("Equal(self) = false")
+	}
+	if a.Equal(b, 1) {
+		t.Fatal("Equal should fail at tol 1")
+	}
+	if a.NNZ(0) != 4 || NewDense(Shape{3}).NNZ(0) != 0 {
+		t.Fatal("NNZ broken")
+	}
+}
+
+func TestDenseShapeMismatchPanics(t *testing.T) {
+	a, b := NewDense(Shape{2}), NewDense(Shape{3})
+	for name, fn := range map[string]func(){
+		"Add": func() { a.Add(b) },
+		"Sub": func() { a.Sub(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s shape mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSparseAppendEntryEach(t *testing.T) {
+	s := NewSparse(Shape{2, 3})
+	s.Append([]int{0, 1}, 2.5)
+	s.Append([]int{1, 2}, -1)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", s.NNZ())
+	}
+	idx, v := s.Entry(1)
+	if idx[0] != 1 || idx[1] != 2 || v != -1 {
+		t.Fatalf("Entry(1) = %v, %v", idx, v)
+	}
+	count := 0
+	s.Each(func(idx []int, v float64) { count++ })
+	if count != 2 {
+		t.Fatalf("Each visited %d entries, want 2", count)
+	}
+}
+
+func TestSparseAppendPanics(t *testing.T) {
+	s := NewSparse(Shape{2, 2})
+	for _, bad := range [][]int{{2, 0}, {0, -1}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Append(%v) did not panic", bad)
+				}
+			}()
+			s.Append(bad, 1)
+		}()
+	}
+}
+
+func TestSparseDenseRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	d := randomDense(rng, Shape{3, 4, 2})
+	s := d.ToSparse(0)
+	if !s.ToDense().Equal(d, 0) {
+		t.Fatal("ToSparse/ToDense roundtrip broken")
+	}
+	if math.Abs(s.Norm()-d.Norm()) > 1e-12 {
+		t.Fatal("sparse norm != dense norm")
+	}
+}
+
+func TestToSparseThreshold(t *testing.T) {
+	d := DenseFromSlice(Shape{3}, []float64{0.5, 1e-12, -2})
+	s := d.ToSparse(1e-9)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 after thresholding", s.NNZ())
+	}
+}
+
+func TestSparseDensity(t *testing.T) {
+	s := NewSparse(Shape{2, 5})
+	s.Append([]int{0, 0}, 1)
+	if got := s.Density(); math.Abs(got-0.1) > 1e-15 {
+		t.Fatalf("Density = %v, want 0.1", got)
+	}
+}
+
+func TestSparseDedupSum(t *testing.T) {
+	s := NewSparse(Shape{2, 2})
+	s.Append([]int{0, 1}, 1)
+	s.Append([]int{0, 1}, 2)
+	s.Append([]int{1, 0}, 5)
+	s.Dedup(SumDuplicates)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ after Dedup = %d, want 2", s.NNZ())
+	}
+	d := s.ToDense()
+	if d.At(0, 1) != 3 || d.At(1, 0) != 5 {
+		t.Fatalf("Dedup sums wrong: %v", d.Data)
+	}
+}
+
+func TestSparseDedupMean(t *testing.T) {
+	s := NewSparse(Shape{2})
+	s.Append([]int{0}, 1)
+	s.Append([]int{0}, 3)
+	s.Dedup(MeanDuplicates)
+	if s.NNZ() != 1 || s.Vals[0] != 2 {
+		t.Fatalf("mean Dedup = %v", s.Vals)
+	}
+}
+
+func TestSparseSortByMode(t *testing.T) {
+	s := NewSparse(Shape{3, 3})
+	s.Append([]int{2, 0}, 1)
+	s.Append([]int{0, 2}, 2)
+	s.Append([]int{0, 1}, 3)
+	s.SortByMode(1)
+	// Sorted by mode-1 value: (2,0), (0,1), (0,2).
+	idx0, _ := s.Entry(0)
+	idx1, _ := s.Entry(1)
+	idx2, _ := s.Entry(2)
+	if idx0[1] != 0 || idx1[1] != 1 || idx2[1] != 2 {
+		t.Fatalf("SortByMode order: %v %v %v", idx0, idx1, idx2)
+	}
+}
+
+func TestSparseClone(t *testing.T) {
+	s := NewSparse(Shape{2})
+	s.Append([]int{1}, 7)
+	c := s.Clone()
+	c.Vals[0] = 9
+	if s.Vals[0] != 7 {
+		t.Fatal("Clone aliases values")
+	}
+}
+
+func TestDenseSliceMode(t *testing.T) {
+	d := DenseFromSlice(Shape{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	row := d.SliceMode(0, 1)
+	if !row.Shape.Equal(Shape{3}) || row.Data[0] != 4 || row.Data[2] != 6 {
+		t.Fatalf("SliceMode(0,1) = %v", row.Data)
+	}
+	col := d.SliceMode(1, 2)
+	if !col.Shape.Equal(Shape{2}) || col.Data[0] != 3 || col.Data[1] != 6 {
+		t.Fatalf("SliceMode(1,2) = %v", col.Data)
+	}
+}
+
+func TestSparseSliceModeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	sp := randomSparse(rng, Shape{4, 3, 5}, 25)
+	d := sp.ToDense()
+	for mode := 0; mode < 3; mode++ {
+		for index := 0; index < sp.Shape[mode]; index++ {
+			if !sp.SliceMode(mode, index).ToDense().Equal(d.SliceMode(mode, index), 0) {
+				t.Fatalf("sparse/dense slice mismatch at mode %d index %d", mode, index)
+			}
+		}
+	}
+}
+
+func TestSliceModePanics(t *testing.T) {
+	d := NewDense(Shape{2, 2})
+	for _, bad := range [][2]int{{2, 0}, {0, 2}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SliceMode(%v) did not panic", bad)
+				}
+			}()
+			d.SliceMode(bad[0], bad[1])
+		}()
+	}
+	one := NewDense(Shape{3})
+	defer func() {
+		if recover() == nil {
+			t.Error("slicing order-1 tensor did not panic")
+		}
+	}()
+	one.SliceMode(0, 0)
+}
+
+func TestFiberNorms(t *testing.T) {
+	s := NewSparse(Shape{2, 2})
+	s.Append([]int{0, 0}, 3)
+	s.Append([]int{0, 1}, 4)
+	s.Append([]int{1, 0}, 1)
+	norms := s.FiberNorms(0)
+	if math.Abs(norms[0]-5) > 1e-12 || math.Abs(norms[1]-1) > 1e-12 {
+		t.Fatalf("FiberNorms = %v", norms)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FiberNorms with bad mode did not panic")
+		}
+	}()
+	s.FiberNorms(5)
+}

@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// TTM computes the mode-n tensor–matrix product Y = X ×ₙ M for a dense
+// tensor, where M is J × I_n and the result has mode-n size J:
+//
+//	Y(i₁,…,j,…,i_N) = Σ_{iₙ} M(j, iₙ) · X(i₁,…,iₙ,…,i_N).
+func TTM(x *Dense, n int, m *mat.Matrix) *Dense {
+	if m.Cols != x.Shape[n] {
+		panic(fmt.Sprintf("tensor: TTM mode %d size %d != matrix cols %d", n, x.Shape[n], m.Cols))
+	}
+	outShape := x.Shape.Clone()
+	outShape[n] = m.Rows
+	out := NewDense(outShape)
+
+	inStride := x.Shape.Strides()[n]
+	outStride := outShape.Strides()[n]
+	inSize := x.Shape[n]
+	outSize := m.Rows
+
+	// Iterate over fibers: every element with idx[n] == 0 is a fiber base.
+	idx := make([]int, x.Shape.Order())
+	total := x.Shape.NumElements()
+	outStrides := outShape.Strides()
+	for lin := 0; lin < total; lin++ {
+		x.Shape.MultiIndex(lin, idx)
+		if idx[n] != 0 {
+			continue
+		}
+		// Same multi-index with mode n at 0 in the output tensor.
+		outBase := 0
+		for k, i := range idx {
+			outBase += i * outStrides[k]
+		}
+		for j := 0; j < outSize; j++ {
+			var s float64
+			row := m.Row(j)
+			for i := 0; i < inSize; i++ {
+				s += row[i] * x.Data[lin+i*inStride]
+			}
+			out.Data[outBase+j*outStride] = s
+		}
+	}
+	return out
+}
+
+// TTMSparse computes Y = X ×ₙ M where X is sparse, producing a dense
+// result. This is the entry point for core recovery G = J ×₁U₁ᵀ…: the
+// first product consumes COO coordinates directly; subsequent products use
+// the dense TTM as dimensions shrink to the target ranks.
+func TTMSparse(x *Sparse, n int, m *mat.Matrix) *Dense {
+	if m.Cols != x.Shape[n] {
+		panic(fmt.Sprintf("tensor: TTMSparse mode %d size %d != matrix cols %d", n, x.Shape[n], m.Cols))
+	}
+	outShape := x.Shape.Clone()
+	outShape[n] = m.Rows
+	out := NewDense(outShape)
+	outStrides := outShape.Strides()
+	stride := outStrides[n]
+
+	x.Each(func(idx []int, v float64) {
+		base := 0
+		for k, i := range idx {
+			if k == n {
+				continue
+			}
+			base += i * outStrides[k]
+		}
+		in := idx[n]
+		for j := 0; j < m.Rows; j++ {
+			out.Data[base+j*stride] += v * m.At(j, in)
+		}
+	})
+	return out
+}
+
+// MultiTTM applies Y = X ×₁ M[0] ×₂ M[1] … over all modes sequentially.
+// A nil entry skips that mode. Matrices are applied in increasing mode
+// order; since each M[k] typically has far fewer rows than columns
+// (rank ≪ mode size), intermediate tensors shrink monotonically.
+func MultiTTM(x *Dense, ms []*mat.Matrix) *Dense {
+	if len(ms) != x.Shape.Order() {
+		panic(fmt.Sprintf("tensor: MultiTTM got %d matrices for order-%d tensor", len(ms), x.Shape.Order()))
+	}
+	cur := x
+	for n, m := range ms {
+		if m == nil {
+			continue
+		}
+		cur = TTM(cur, n, m)
+	}
+	return cur
+}
+
+// MultiTTMSparse applies all mode products to a sparse tensor: the first
+// non-nil matrix consumes the sparse input, the rest proceed densely.
+func MultiTTMSparse(x *Sparse, ms []*mat.Matrix) *Dense {
+	if len(ms) != x.Order() {
+		panic(fmt.Sprintf("tensor: MultiTTMSparse got %d matrices for order-%d tensor", len(ms), x.Order()))
+	}
+	var cur *Dense
+	start := -1
+	for n, m := range ms {
+		if m != nil {
+			cur = TTMSparse(x, n, m)
+			start = n
+			break
+		}
+	}
+	if start == -1 {
+		return x.ToDense()
+	}
+	for n := start + 1; n < len(ms); n++ {
+		if ms[n] == nil {
+			continue
+		}
+		cur = TTM(cur, n, ms[n])
+	}
+	return cur
+}
+
+// TuckerReconstruct computes X̃ = G ×₁ U(1) ×₂ U(2) … ×ₙ U(N), expanding a
+// core tensor back to the full space through factor matrices U(n) of shape
+// I_n × r_n.
+func TuckerReconstruct(core *Dense, factors []*mat.Matrix) *Dense {
+	if len(factors) != core.Shape.Order() {
+		panic(fmt.Sprintf("tensor: TuckerReconstruct got %d factors for order-%d core", len(factors), core.Shape.Order()))
+	}
+	return MultiTTM(core, factors)
+}
+
+// TransposeAll returns the transposes of the given factor matrices;
+// convenience for core recovery G = X ×₁ U(1)ᵀ ….
+func TransposeAll(factors []*mat.Matrix) []*mat.Matrix {
+	out := make([]*mat.Matrix, len(factors))
+	for i, f := range factors {
+		if f != nil {
+			out[i] = mat.Transpose(f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package tucker_test
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+func ExampleHOSVD() {
+	// Decompose a sparse 3-mode tensor at rank (2, 2, 2).
+	x := tensor.NewSparse(tensor.Shape{4, 4, 4})
+	x.Append([]int{0, 0, 0}, 1)
+	x.Append([]int{1, 1, 1}, 2)
+	x.Append([]int{2, 2, 2}, 3)
+	d := tucker.HOSVD(x, []int{2, 2, 2})
+	fmt.Println("core shape:", d.Core.Shape)
+	fmt.Println("factor dims:", d.Factors[0].Rows, "x", d.Factors[0].Cols)
+	// Output:
+	// core shape: [2 2 2]
+	// factor dims: 4 x 2
+}
+
+func ExampleUniformRanks() {
+	fmt.Println(tucker.UniformRanks(5, 10))
+	// Output: [10 10 10 10 10]
+}
+
+func ExampleClipRanks() {
+	// Requested ranks are bounded by each mode's size.
+	fmt.Println(tucker.ClipRanks(tensor.Shape{3, 8}, []int{5, 5}))
+	// Output: [3 5]
+}

@@ -1,0 +1,101 @@
+package tucker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// HOOIOptions configures higher-order orthogonal iteration.
+type HOOIOptions struct {
+	// MaxIterations bounds the alternating sweeps (default 10).
+	MaxIterations int
+	// Tolerance stops iteration when the captured core energy improves by
+	// less than this relative amount between sweeps (default 1e-8).
+	Tolerance float64
+}
+
+func (o HOOIOptions) normalize() HOOIOptions {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 10
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-8
+	}
+	return o
+}
+
+// HOOI computes a Tucker decomposition by higher-order orthogonal
+// iteration: starting from the HOSVD factors, it alternately re-optimises
+// each mode's factor as the leading subspace of the tensor projected
+// through all other factors. HOOI's reconstruction error is never worse
+// than HOSVD's (it monotonically increases the captured core energy) and
+// is often better at aggressive rank truncations.
+//
+// HOSVD remains the building block the paper's M2TD uses; HOOI is provided
+// as the natural quality upgrade for standalone Tucker decompositions of
+// ensemble tensors.
+func HOOI(x *tensor.Sparse, ranks []int, opts HOOIOptions) Decomposition {
+	opts = opts.normalize()
+	ranks = ClipRanks(x.Shape, ranks)
+	order := x.Order()
+
+	// Initialise from HOSVD.
+	dec := HOSVD(x, ranks)
+	factors := dec.Factors
+
+	prevEnergy := dec.Core.Norm()
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		for n := 0; n < order; n++ {
+			// Project through every factor except mode n.
+			ms := make([]*mat.Matrix, order)
+			for k := 0; k < order; k++ {
+				if k != n {
+					ms[k] = mat.Transpose(factors[k])
+				}
+			}
+			y := tensor.MultiTTMSparse(x, ms)
+			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDense(y, n), ranks[n])
+		}
+		core := tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+		energy := core.Norm()
+		if energy-prevEnergy <= opts.Tolerance*(prevEnergy+1e-300) {
+			return Decomposition{Core: core, Factors: factors, Ranks: ranks}
+		}
+		prevEnergy = energy
+	}
+	core := tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
+}
+
+// HOOIDense runs HOOI on a dense tensor.
+func HOOIDense(x *tensor.Dense, ranks []int, opts HOOIOptions) Decomposition {
+	sp := x.ToSparse(0)
+	if sp.NNZ() == 0 {
+		return HOSVDDense(x, ranks)
+	}
+	return HOOI(sp, ranks, opts)
+}
+
+// FitOf returns the Tucker fit 1 − ‖X − X̂‖F/‖X‖F of a decomposition
+// against the sparse tensor it was computed from, using the identity
+// ‖X − X̂‖² = ‖X‖² − ‖G‖² (valid for orthonormal factors).
+func FitOf(d Decomposition, x *tensor.Sparse) (float64, error) {
+	for n, f := range d.Factors {
+		if !mat.IsOrthonormalCols(f, 1e-6) {
+			return 0, fmt.Errorf("tucker: factor %d is not orthonormal; FitOf requires orthonormal factors", n)
+		}
+	}
+	xn := x.Norm()
+	if xn == 0 {
+		return 1, nil
+	}
+	gn := d.Core.Norm()
+	resid := xn*xn - gn*gn
+	if resid < 0 {
+		resid = 0
+	}
+	return 1 - math.Sqrt(resid)/xn, nil
+}

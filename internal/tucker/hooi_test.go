@@ -1,0 +1,144 @@
+package tucker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func TestHOOIExactRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	x := lowRankTensor(rng, tensor.Shape{5, 6, 4}, []int{2, 2, 2})
+	d := HOOIDense(x, []int{2, 2, 2}, HOOIOptions{})
+	if err := d.RelativeError(x); err > 1e-8 {
+		t.Fatalf("exact-rank HOOI error = %v", err)
+	}
+}
+
+func TestHOOINotWorseThanHOSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 5; trial++ {
+		x := randomDense(rng, tensor.Shape{6, 6, 6})
+		sp := x.ToSparse(0)
+		ranks := []int{2, 2, 2}
+		hosvdErr := HOSVD(sp, ranks).RelativeError(x)
+		hooiErr := HOOI(sp, ranks, HOOIOptions{MaxIterations: 15}).RelativeError(x)
+		if hooiErr > hosvdErr+1e-9 {
+			t.Fatalf("trial %d: HOOI error %v worse than HOSVD %v", trial, hooiErr, hosvdErr)
+		}
+	}
+}
+
+func TestHOOIFactorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	x := randomDense(rng, tensor.Shape{5, 4, 6}).ToSparse(0)
+	d := HOOI(x, []int{3, 2, 3}, HOOIOptions{})
+	for n, f := range d.Factors {
+		if !mat.IsOrthonormalCols(f, 1e-9) {
+			t.Fatalf("HOOI factor %d not orthonormal", n)
+		}
+	}
+}
+
+func TestHOOIEmptyTensor(t *testing.T) {
+	d := HOOIDense(tensor.NewDense(tensor.Shape{3, 3}), []int{2, 2}, HOOIOptions{})
+	if d.Core.Norm() != 0 {
+		t.Fatal("empty tensor core not zero")
+	}
+}
+
+func TestFitOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	x := randomDense(rng, tensor.Shape{5, 5, 5}).ToSparse(0)
+	// Full-rank: fit must be ~1.
+	full := HOSVD(x, []int{5, 5, 5})
+	fit, err := FitOf(full, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit-1) > 1e-9 {
+		t.Fatalf("full-rank fit = %v", fit)
+	}
+	// Truncated: fit matches the explicit reconstruction error.
+	trunc := HOSVD(x, []int{2, 2, 2})
+	fit, err = FitOf(trunc, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := 1 - trunc.RelativeError(x.ToDense())
+	if math.Abs(fit-explicit) > 1e-9 {
+		t.Fatalf("FitOf %v != explicit fit %v", fit, explicit)
+	}
+}
+
+func TestFitOfRejectsNonOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	x := randomDense(rng, tensor.Shape{4, 4}).ToSparse(0)
+	d := HOSVD(x, []int{2, 2})
+	d.Factors[0] = mat.Scale(2, d.Factors[0])
+	if _, err := FitOf(d, x); err == nil {
+		t.Fatal("non-orthonormal factors accepted")
+	}
+}
+
+func TestFitOfEmptyTensor(t *testing.T) {
+	x := tensor.NewSparse(tensor.Shape{3, 3})
+	d := HOSVD(x, []int{2, 2})
+	fit, err := FitOf(d, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit != 1 {
+		t.Fatalf("empty tensor fit = %v", fit)
+	}
+}
+
+func TestSTHOSVDExactRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(145))
+	x := lowRankTensor(rng, tensor.Shape{5, 6, 4}, []int{2, 2, 2})
+	d := STHOSVDDense(x, []int{2, 2, 2})
+	if err := d.RelativeError(x); err > 1e-8 {
+		t.Fatalf("exact-rank ST-HOSVD error = %v", err)
+	}
+	sp := x.ToSparse(0)
+	ds := STHOSVD(sp, []int{2, 2, 2})
+	if err := ds.RelativeError(x); err > 1e-8 {
+		t.Fatalf("sparse exact-rank ST-HOSVD error = %v", err)
+	}
+}
+
+func TestSTHOSVDCloseToHOSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(146))
+	for trial := 0; trial < 5; trial++ {
+		x := randomDense(rng, tensor.Shape{6, 5, 6})
+		sp := x.ToSparse(0)
+		ranks := []int{3, 2, 3}
+		hosvdErr := HOSVD(sp, ranks).RelativeError(x)
+		stErr := STHOSVD(sp, ranks).RelativeError(x)
+		// ST-HOSVD satisfies the same quasi-optimality bound as HOSVD
+		// (error ≤ √N × optimal); in practice the two land close together.
+		if stErr > hosvdErr*1.5+1e-9 {
+			t.Fatalf("trial %d: ST-HOSVD error %v far above HOSVD %v", trial, stErr, hosvdErr)
+		}
+	}
+}
+
+func TestSTHOSVDFactorShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(147))
+	x := randomDense(rng, tensor.Shape{5, 4, 6}).ToSparse(0)
+	d := STHOSVD(x, []int{3, 2, 4})
+	for n, want := range []struct{ rows, cols int }{{5, 3}, {4, 2}, {6, 4}} {
+		if d.Factors[n].Rows != want.rows || d.Factors[n].Cols != want.cols {
+			t.Fatalf("factor %d dims %d×%d", n, d.Factors[n].Rows, d.Factors[n].Cols)
+		}
+		if !mat.IsOrthonormalCols(d.Factors[n], 1e-9) {
+			t.Fatalf("factor %d not orthonormal", n)
+		}
+	}
+	if !d.Core.Shape.Equal(tensor.Shape{3, 2, 4}) {
+		t.Fatalf("core shape %v", d.Core.Shape)
+	}
+}

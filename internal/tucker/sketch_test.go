@@ -1,0 +1,110 @@
+package tucker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSketchValidation(t *testing.T) {
+	x := tensor.NewSparse(tensor.Shape{2, 2})
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Sketch(x, SketchOptions{KeepFrac: 0, Rng: rng}); err == nil {
+		t.Fatal("KeepFrac 0 accepted")
+	}
+	if _, err := Sketch(x, SketchOptions{KeepFrac: 2, Rng: rng}); err == nil {
+		t.Fatal("KeepFrac 2 accepted")
+	}
+	if _, err := Sketch(x, SketchOptions{KeepFrac: 0.5}); err == nil {
+		t.Fatal("nil Rng accepted")
+	}
+	if _, err := SketchedHOSVD(x, []int{1, 1}, SketchOptions{KeepFrac: 0}); err == nil {
+		t.Fatal("SketchedHOSVD with bad options accepted")
+	}
+}
+
+func TestSketchEmptyAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	empty, err := Sketch(tensor.NewSparse(tensor.Shape{3, 3}), SketchOptions{KeepFrac: 0.5, Rng: rng})
+	if err != nil || empty.NNZ() != 0 {
+		t.Fatalf("empty sketch: %v, %d cells", err, empty.NNZ())
+	}
+	zeros := tensor.NewSparse(tensor.Shape{2})
+	zeros.Append([]int{0}, 0)
+	sk, err := Sketch(zeros, SketchOptions{KeepFrac: 0.5, Rng: rng})
+	if err != nil || sk.NNZ() != 0 {
+		t.Fatalf("all-zero sketch: %v, %d cells", err, sk.NNZ())
+	}
+}
+
+func TestSketchSizeTracksKeepFrac(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomDense(rng, tensor.Shape{10, 10, 10}).ToSparse(0)
+	sk, err := Sketch(x, SketchOptions{KeepFrac: 0.3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(sk.NNZ()) / float64(x.NNZ())
+	if got < 0.15 || got > 0.5 {
+		t.Fatalf("kept fraction %v, want ≈0.3", got)
+	}
+}
+
+func TestSketchIsUnbiased(t *testing.T) {
+	// Averaging many independent sketches approaches the original tensor.
+	rng := rand.New(rand.NewSource(4))
+	x := randomDense(rng, tensor.Shape{4, 4})
+	for i := range x.Data {
+		x.Data[i] = math.Abs(x.Data[i]) + 0.1 // keep values bounded away from 0
+	}
+	sp := x.ToSparse(0)
+	sum := tensor.NewDense(x.Shape)
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		sk, err := Sketch(sp, SketchOptions{KeepFrac: 0.5, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum = sum.Add(sk.ToDense())
+	}
+	mean := sum.Scale(1.0 / trials)
+	relErr := mean.Sub(x).Norm() / x.Norm()
+	if relErr > 0.05 {
+		t.Fatalf("sketch estimator bias: relative error %v", relErr)
+	}
+}
+
+func TestSketchedHOSVDConvergesToHOSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomDense(rng, tensor.Shape{8, 8, 8})
+	sp := x.ToSparse(0)
+	ranks := UniformRanks(3, 3)
+	exact := HOSVD(sp, ranks).RelativeError(x)
+
+	full, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.RelativeError(x)-exact) > 1e-12 {
+		t.Fatal("KeepFrac=1 sketch differs from plain HOSVD")
+	}
+
+	// Heavier sketches should not do much worse than light ones on
+	// average; just sanity-check the error ordering loosely.
+	light, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 0.2, Rng: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 0.8, Rng: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.RelativeError(x) > light.RelativeError(x)+0.3 {
+		t.Fatalf("heavy sketch error %v much worse than light %v", heavy.RelativeError(x), light.RelativeError(x))
+	}
+	if light.RelativeError(x) < exact-1e-9 {
+		t.Fatal("sketched error below exact HOSVD error (impossible for this tensor)")
+	}
+}

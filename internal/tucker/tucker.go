@@ -1,0 +1,99 @@
+// Package tucker implements Tucker decomposition via HOSVD (Algorithm 1 of
+// the paper): for each mode, the factor matrix holds the leading left
+// singular vectors of the mode-n matricization, and the core tensor is
+// recovered as G = X ×₁ U(1)ᵀ ×₂ … ×ₙ U(N)ᵀ.
+//
+// Left singular vectors are obtained from the eigendecomposition of the
+// small Iₙ×Iₙ matricization Gram matrix, computed directly from sparse
+// coordinates (tensor.ModeGram) or dense fibers (tensor.ModeGramDense), so
+// the potentially enormous unfoldings are never materialised.
+package tucker
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Decomposition is a Tucker decomposition: a dense core and one factor
+// matrix (Iₙ × rₙ, orthonormal columns) per mode.
+type Decomposition struct {
+	Core    *tensor.Dense
+	Factors []*mat.Matrix
+	// Ranks holds the effective (clipped) per-mode ranks.
+	Ranks []int
+}
+
+// ClipRanks bounds each requested rank by its mode size.
+func ClipRanks(shape tensor.Shape, ranks []int) []int {
+	if len(ranks) != shape.Order() {
+		panic(fmt.Sprintf("tucker: %d ranks for order-%d tensor", len(ranks), shape.Order()))
+	}
+	out := make([]int, len(ranks))
+	for n, r := range ranks {
+		if r < 1 {
+			panic(fmt.Sprintf("tucker: rank %d for mode %d must be positive", r, n))
+		}
+		if r > shape[n] {
+			r = shape[n]
+		}
+		out[n] = r
+	}
+	return out
+}
+
+// UniformRanks returns an order-length rank vector with every entry r, the
+// paper's uniform target-rank setting.
+func UniformRanks(order, r int) []int {
+	out := make([]int, order)
+	for i := range out {
+		out[i] = r
+	}
+	return out
+}
+
+// HOSVD decomposes a sparse tensor with the given per-mode target ranks.
+func HOSVD(x *tensor.Sparse, ranks []int) Decomposition {
+	ranks = ClipRanks(x.Shape, ranks)
+	order := x.Order()
+	factors := make([]*mat.Matrix, order)
+	for n := 0; n < order; n++ {
+		factors[n] = tensor.LeadingModeVectors(x, n, ranks[n])
+	}
+	core := tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
+}
+
+// HOSVDDense decomposes a dense tensor with the given per-mode target
+// ranks.
+func HOSVDDense(x *tensor.Dense, ranks []int) Decomposition {
+	ranks = ClipRanks(x.Shape, ranks)
+	order := x.Shape.Order()
+	factors := make([]*mat.Matrix, order)
+	for n := 0; n < order; n++ {
+		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDense(x, n), ranks[n])
+	}
+	core := tensor.MultiTTM(x, tensor.TransposeAll(factors))
+	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
+}
+
+// Reconstruct expands the decomposition back to the full tensor:
+// X̃ = G ×₁ U(1) ×₂ … ×ₙ U(N).
+func (d Decomposition) Reconstruct() *tensor.Dense {
+	return tensor.TuckerReconstruct(d.Core, d.Factors)
+}
+
+// RelativeError returns ‖X̃ − ref‖F / ‖ref‖F for the decomposition's
+// reconstruction against a reference tensor of the same shape.
+func (d Decomposition) RelativeError(ref *tensor.Dense) float64 {
+	recon := d.Reconstruct()
+	return recon.Sub(ref).Norm() / ref.Norm()
+}
+
+// CoreFromFactors recovers a core tensor for externally supplied factor
+// matrices: G = X ×₁ U(1)ᵀ …. M2TD uses this to project the join tensor
+// through fused factor matrices.
+func CoreFromFactors(x *tensor.Sparse, factors []*mat.Matrix) *tensor.Dense {
+	return tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+}

@@ -1,0 +1,345 @@
+// Package m2td reproduces "M2TD: Multi-Task Tensor Decomposition for
+// Sparse Ensemble Simulations" (Li, Candan, Sapino; ICDE 2018) as a
+// self-contained Go library.
+//
+// The package is the public facade over the implementation packages:
+//
+//   - internal/dynsys    — double pendulum, triple pendulum, Lorenz, SEIR
+//   - internal/ensemble  — parameter spaces; Random/Grid/Slice/LHS samplers
+//   - internal/partition — PF-partitioning into pivot-sharing sub-systems
+//   - internal/stitch    — JE-stitching (join and zero-join)
+//   - internal/tucker    — HOSVD / ST-HOSVD / HOOI Tucker decomposition
+//   - internal/cp        — CP-ALS decomposition
+//   - internal/core      — M2TD-AVG / -CONCAT / -SELECT (+ factored core)
+//   - internal/dist      — 3-phase distributed M2TD on MapReduce
+//   - internal/increment — streaming M2TD with exact Gram maintenance
+//   - internal/eval      — the paper's experiments (Tables I–VIII, Fig. 6)
+//
+// The one-call entry point is Run, which executes the full
+// partition → simulate → stitch → decompose → evaluate pipeline:
+//
+//	report, err := m2td.Run(m2td.Config{
+//	    System:     "double-pendulum",
+//	    Resolution: 12,
+//	    Rank:       4,
+//	    Method:     "select",
+//	})
+//
+// Lower-level building blocks (Partition, Stitch, Decompose) are exposed
+// for custom pipelines, and the eval package's table runners are wrapped
+// by the cmd/m2tdbench tool.
+package m2td
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dynsys"
+	"repro/internal/ensemble"
+	"repro/internal/eval"
+	"repro/internal/partition"
+	"repro/internal/stitch"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Config describes one end-to-end M2TD pipeline run.
+type Config struct {
+	// System is the dynamical system: "double-pendulum" (default),
+	// "triple-pendulum", "lorenz", or "seir".
+	System string
+	// Resolution is the per-parameter grid resolution (default 12).
+	Resolution int
+	// TimeSamples is the time-mode size (defaults to Resolution).
+	TimeSamples int
+	// Rank is the uniform per-mode Tucker rank (default 4).
+	Rank int
+	// Method selects the pivot fusion: "avg", "concat", or "select"
+	// (default).
+	Method string
+	// Pivot names the pivot mode: "t" (default), a parameter name such as
+	// "phi1", or "auto" to pick the best pivot by a coarse pilot run
+	// (eval.SelectPivot).
+	Pivot string
+	// PivotDensity and SubEnsembleDensity are the paper's P and E knobs in
+	// (0, 1]; zero values mean 1.
+	PivotDensity, SubEnsembleDensity float64
+	// ZeroJoin selects zero-join JE-stitching.
+	ZeroJoin bool
+	// Workers > 0 runs the distributed 3-phase D-M2TD with that many
+	// workers instead of the serial algorithm.
+	Workers int
+	// SkipAccuracy skips ground-truth construction (which simulates the
+	// entire parameter space) and leaves Report.Accuracy as NaN.
+	SkipAccuracy bool
+	// AccuracySampleSims > 0 estimates the accuracy from that many
+	// uniformly sampled ground-truth fibers instead of materialising the
+	// full simulation-space tensor — required at paper-scale resolutions
+	// where the exact metric needs tens of GB.
+	AccuracySampleSims int
+	// Factored computes the M2TD core without materialising the join
+	// tensor (core.DecomposeFactored), exploiting the product structure of
+	// PF-partitioned sub-ensembles. Identical results; required at
+	// paper-scale resolutions where the join tensor has billions of cells.
+	// Incompatible with Workers (D-M2TD materialises the join by design).
+	Factored bool
+	// Seed drives all sampling randomness (default 1).
+	Seed int64
+}
+
+// Report is the outcome of a pipeline run.
+type Report struct {
+	// Accuracy is the paper's metric 1 − ‖X̃−Y‖F/‖Y‖F against the full
+	// ground-truth tensor (NaN when SkipAccuracy is set).
+	Accuracy float64
+	// NumSims is the number of simulation runs spent.
+	NumSims int
+	// JoinCells is the stitched join tensor's stored-cell count.
+	JoinCells int
+	// SimTime is the wall-clock spent running simulations; DecompTime
+	// covers sub-decomposition, stitching, and core recovery.
+	SimTime, DecompTime time.Duration
+	// Decomposition holds the resulting factors and core.
+	Decomposition *core.Result
+	// Space is the underlying parameter space (exposes the shape, ground
+	// truth, and mode names).
+	Space *ensemble.Space
+}
+
+// normalize fills config defaults.
+func (c Config) normalize() Config {
+	if c.System == "" {
+		c.System = "double-pendulum"
+	}
+	if c.Resolution == 0 {
+		c.Resolution = 12
+	}
+	if c.TimeSamples == 0 {
+		c.TimeSamples = c.Resolution
+	}
+	if c.Rank == 0 {
+		c.Rank = 4
+	}
+	if c.Method == "" {
+		c.Method = "select"
+	}
+	if c.Pivot == "" {
+		c.Pivot = "t"
+	}
+	if c.PivotDensity == 0 {
+		c.PivotDensity = 1
+	}
+	if c.SubEnsembleDensity == 0 {
+		c.SubEnsembleDensity = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// method maps the config's method name to the core constant.
+func (c Config) method() (core.Method, error) {
+	switch strings.ToLower(c.Method) {
+	case "avg", "average", "m2td-avg":
+		return core.AVG, nil
+	case "concat", "concatenate", "m2td-concat":
+		return core.CONCAT, nil
+	case "select", "selection", "m2td-select":
+		return core.SELECT, nil
+	}
+	return "", fmt.Errorf("m2td: unknown method %q (want avg, concat, or select)", c.Method)
+}
+
+// Systems lists the built-in dynamical systems.
+func Systems() []string {
+	out := make([]string, 0, 4)
+	for _, s := range dynsys.All() {
+		out = append(out, s.Name())
+	}
+	return out
+}
+
+// Run executes the full M2TD pipeline described by the config.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.normalize()
+	method, err := cfg.method()
+	if err != nil {
+		return nil, err
+	}
+	space, err := eval.SpaceFor(cfg.System, cfg.Resolution, cfg.TimeSamples)
+	if err != nil {
+		return nil, err
+	}
+	pivot := -1
+	if cfg.Pivot == "auto" {
+		pilotRes := cfg.Resolution
+		if pilotRes > 8 {
+			pilotRes = 8
+		}
+		scores, err := eval.SelectPivot(cfg.System, pilotRes, cfg.Rank, 150, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pivot = scores[0].Pivot
+	} else {
+		for m := 0; m < space.Order(); m++ {
+			if space.ModeName(m) == cfg.Pivot {
+				pivot = m
+				break
+			}
+		}
+	}
+	if pivot == -1 {
+		return nil, fmt.Errorf("m2td: unknown pivot %q for system %s", cfg.Pivot, cfg.System)
+	}
+
+	pcfg := partition.DefaultConfig(space.Order(), pivot, eval.PairsFor(cfg.System))
+	pcfg.PivotFrac = cfg.PivotDensity
+	pcfg.FreeFrac = cfg.SubEnsembleDensity
+
+	simStart := time.Now()
+	part, err := partition.Generate(space, pcfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	simTime := time.Since(simStart)
+
+	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
+	opts := core.Options{Method: method, Ranks: ranks, ZeroJoin: cfg.ZeroJoin}
+	var res *core.Result
+	switch {
+	case cfg.Workers > 0 && cfg.Factored:
+		return nil, fmt.Errorf("m2td: Factored and Workers are mutually exclusive")
+	case cfg.Workers > 0:
+		d, err := dist.Decompose(part, dist.Options{Options: opts, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		res = d.Result
+	case cfg.Factored:
+		res, err = core.DecomposeFactored(part, opts)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		res, err = core.Decompose(part, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	joinCells := 0
+	if res.Join != nil {
+		joinCells = res.Join.NNZ()
+	}
+	report := &Report{
+		Accuracy:      nan(),
+		NumSims:       part.NumSims,
+		JoinCells:     joinCells,
+		SimTime:       simTime,
+		DecompTime:    res.SubDecompTime + res.StitchTime + res.CoreTime,
+		Decomposition: res,
+		Space:         space,
+	}
+	switch {
+	case cfg.SkipAccuracy:
+	case cfg.AccuracySampleSims > 0:
+		model := eval.TuckerModel{Core: res.Core, Factors: res.Factors}
+		acc, err := eval.EstimateAccuracy(space, model, cfg.AccuracySampleSims, rand.New(rand.NewSource(cfg.Seed+100)))
+		if err != nil {
+			return nil, err
+		}
+		report.Accuracy = acc
+	default:
+		report.Accuracy = eval.Accuracy(res.Reconstruct(), space.GroundTruth())
+	}
+	return report, nil
+}
+
+// Baseline runs one conventional sampling scheme — "random", "grid",
+// "slice" (the paper's Section IV baselines) or "lhs" (Latin hypercube,
+// from the experiment-design literature the paper cites) — with the given
+// simulation budget and returns its accuracy and decomposition time: the
+// comparison target for Run.
+func Baseline(cfg Config, scheme string, budget int) (*Report, error) {
+	cfg = cfg.normalize()
+	space, err := eval.SpaceFor(cfg.System, cfg.Resolution, cfg.TimeSamples)
+	if err != nil {
+		return nil, err
+	}
+	var sims []ensemble.Sim
+	switch strings.ToLower(scheme) {
+	case "random":
+		sims = ensemble.RandomSample(space, budget, rand.New(rand.NewSource(cfg.Seed)))
+	case "grid":
+		sims = ensemble.GridSample(space, budget)
+	case "slice":
+		sims = ensemble.SliceSample(space, budget, rand.New(rand.NewSource(cfg.Seed)))
+	case "lhs", "latin", "latin-hypercube":
+		sims = ensemble.LatinHypercubeSample(space, budget, rand.New(rand.NewSource(cfg.Seed)))
+	default:
+		return nil, fmt.Errorf("m2td: unknown baseline scheme %q", scheme)
+	}
+	simStart := time.Now()
+	se := ensemble.Encode(space, sims)
+	simTime := time.Since(simStart)
+
+	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
+	start := time.Now()
+	dec := tucker.HOSVD(se.Tensor, ranks)
+	decompTime := time.Since(start)
+
+	report := &Report{
+		Accuracy:   nan(),
+		NumSims:    len(sims),
+		JoinCells:  se.Tensor.NNZ(),
+		SimTime:    simTime,
+		DecompTime: decompTime,
+		Space:      space,
+	}
+	switch {
+	case cfg.SkipAccuracy:
+	case cfg.AccuracySampleSims > 0:
+		model := eval.TuckerModel{Core: dec.Core, Factors: dec.Factors}
+		acc, err := eval.EstimateAccuracy(space, model, cfg.AccuracySampleSims, rand.New(rand.NewSource(cfg.Seed+100)))
+		if err != nil {
+			return nil, err
+		}
+		report.Accuracy = acc
+	default:
+		report.Accuracy = eval.Accuracy(dec.Reconstruct(), space.GroundTruth())
+	}
+	return report, nil
+}
+
+// Partition PF-partitions a space and simulates both sub-ensembles; a
+// building block for custom pipelines.
+func Partition(space *ensemble.Space, pivot int, pivotFrac, freeFrac float64, seed int64) (*partition.Result, error) {
+	pcfg := partition.DefaultConfig(space.Order(), pivot, eval.PairsFor(space.Sys.Name()))
+	pcfg.PivotFrac = pivotFrac
+	pcfg.FreeFrac = freeFrac
+	return partition.Generate(space, pcfg, rand.New(rand.NewSource(seed)))
+}
+
+// Stitch constructs the join tensor (or zero-join tensor) for a
+// PF-partitioned pair of sub-ensembles.
+func Stitch(part *partition.Result, zeroJoin bool) *tensor.Sparse {
+	if zeroJoin {
+		return stitch.ZeroJoin(part)
+	}
+	return stitch.Join(part)
+}
+
+// Decompose runs the selected M2TD variant over a PF-partitioned pair.
+func Decompose(part *partition.Result, method core.Method, rank int, zeroJoin bool) (*core.Result, error) {
+	ranks := tucker.UniformRanks(part.Space.Order(), rank)
+	return core.Decompose(part, core.Options{Method: method, Ranks: ranks, ZeroJoin: zeroJoin})
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,88 @@
+package m2td
+
+import (
+	"fmt"
+
+	"repro/internal/dynsys"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Predict evaluates the decomposition at arbitrary physical parameter
+// values — including values between grid points — returning the predicted
+// cell values (distance to the observed system) for every timestamp.
+// This is the pay-off the paper motivates: after spending B simulations,
+// the decomposition answers "what would a simulation at these parameters
+// look like?" for the entire space without running the simulator.
+//
+// Off-grid parameter values are handled by linear interpolation between
+// the two bracketing rows of each parameter mode's factor matrix (the
+// Tucker model is multilinear in the factor rows, so this is exact
+// multilinear interpolation of the reconstruction). Values outside a
+// parameter's range are clamped to it.
+func (r *Report) Predict(paramValues []float64) ([]float64, error) {
+	space := r.Space
+	if r.Decomposition == nil {
+		return nil, fmt.Errorf("m2td: report carries no decomposition")
+	}
+	ps := space.Sys.Params()
+	if len(paramValues) != len(ps) {
+		return nil, fmt.Errorf("m2td: %d parameter values for %d parameters", len(paramValues), len(ps))
+	}
+	factors := r.Decomposition.Factors
+	cur := r.Decomposition.Core
+	for mode, p := range ps {
+		row, err := interpolatedRow(factors[mode], p, paramValues[mode], space.Res)
+		if err != nil {
+			return nil, err
+		}
+		cur = tensor.TTM(cur, mode, mat.FromSlice(1, len(row), row))
+	}
+	// Expand the time mode through its full factor.
+	timeMode := space.TimeMode()
+	cur = tensor.TTM(cur, timeMode, factors[timeMode])
+	out := make([]float64, space.TimeSamples)
+	copy(out, cur.Data)
+	return out, nil
+}
+
+// PredictAt evaluates the decomposition at one timestamp index.
+func (r *Report) PredictAt(paramValues []float64, timeIdx int) (float64, error) {
+	if timeIdx < 0 || timeIdx >= r.Space.TimeSamples {
+		return 0, fmt.Errorf("m2td: time index %d out of range [0, %d)", timeIdx, r.Space.TimeSamples)
+	}
+	fiber, err := r.Predict(paramValues)
+	if err != nil {
+		return 0, err
+	}
+	return fiber[timeIdx], nil
+}
+
+// interpolatedRow returns the factor row for a physical parameter value:
+// the exact row on grid points, the linear blend of the two bracketing
+// rows otherwise.
+func interpolatedRow(f *mat.Matrix, p dynsys.Param, value float64, res int) ([]float64, error) {
+	if res <= 1 {
+		return append([]float64(nil), f.Row(0)...), nil
+	}
+	// Continuous grid coordinate in [0, res-1].
+	t := (value - p.Min) / (p.Max - p.Min) * float64(res-1)
+	if t < 0 {
+		t = 0
+	}
+	if t > float64(res-1) {
+		t = float64(res - 1)
+	}
+	lo := int(t)
+	hi := lo + 1
+	if hi > res-1 {
+		hi = res - 1
+	}
+	w := t - float64(lo)
+	out := make([]float64, f.Cols)
+	rowLo, rowHi := f.Row(lo), f.Row(hi)
+	for c := range out {
+		out[c] = (1-w)*rowLo[c] + w*rowHi[c]
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package m2td
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dynsys"
+)
+
+func TestPredictOnGridMatchesReconstruction(t *testing.T) {
+	report, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := report.Space
+	recon := report.Decomposition.Reconstruct()
+	ps := space.Sys.Params()
+	// Pick a grid point and feed its exact physical values.
+	gridIdx := []int{1, 3, 0, 2}
+	vals := make([]float64, 4)
+	for m, p := range ps {
+		vals[m] = p.Value(gridIdx[m], space.Res)
+	}
+	fiber, err := report.Predict(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < space.TimeSamples; tt++ {
+		want := recon.At(1, 3, 0, 2, tt)
+		if math.Abs(fiber[tt]-want) > 1e-9 {
+			t.Fatalf("t=%d: Predict %v != reconstruction %v", tt, fiber[tt], want)
+		}
+	}
+}
+
+func TestPredictMidpointBetweenNeighbours(t *testing.T) {
+	report, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := report.Space
+	ps := space.Sys.Params()
+	// Midway between grid points 1 and 2 of the first parameter: the
+	// prediction must be the average of the two neighbouring fibers
+	// (multilinearity).
+	base := []int{1, 3, 0, 2}
+	valsLo := make([]float64, 4)
+	valsHi := make([]float64, 4)
+	valsMid := make([]float64, 4)
+	for m, p := range ps {
+		valsLo[m] = p.Value(base[m], space.Res)
+		valsHi[m] = valsLo[m]
+		valsMid[m] = valsLo[m]
+	}
+	valsHi[0] = ps[0].Value(base[0]+1, space.Res)
+	valsMid[0] = (valsLo[0] + valsHi[0]) / 2
+
+	lo, err := report.Predict(valsLo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := report.Predict(valsHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := report.Predict(valsMid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range mid {
+		want := (lo[tt] + hi[tt]) / 2
+		if math.Abs(mid[tt]-want) > 1e-9 {
+			t.Fatalf("t=%d: midpoint %v != average %v", tt, mid[tt], want)
+		}
+	}
+}
+
+func TestPredictClampsOutOfRange(t *testing.T) {
+	report, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := report.Space.Sys.Params()
+	below := make([]float64, 4)
+	atMin := make([]float64, 4)
+	for m, p := range ps {
+		below[m] = p.Min - 100
+		atMin[m] = p.Min
+	}
+	a, err := report.Predict(below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := report.Predict(atMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range a {
+		if a[tt] != b[tt] {
+			t.Fatal("out-of-range values not clamped to the boundary")
+		}
+	}
+}
+
+func TestPredictApproximatesSimulation(t *testing.T) {
+	// On a smooth system (SEIR) at a decent resolution, the prediction at
+	// the reference parameters should be near the true cell values
+	// (distance ≈ 0 at the reference — prediction should be small compared
+	// with typical cell magnitudes).
+	report, err := Run(Config{
+		System:     "seir",
+		Resolution: 8,
+		Rank:       4,
+		Method:     "select",
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := report.Space
+	ref := dynsys.ReferenceParams(space.Sys)
+	fiber, err := report.Predict(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := space.GroundTruth()
+	var rms float64
+	for _, v := range truth.Data {
+		rms += v * v
+	}
+	rms = math.Sqrt(rms / float64(len(truth.Data)))
+	for tt, v := range fiber {
+		if math.Abs(v) > rms {
+			t.Fatalf("t=%d: predicted distance %v exceeds RMS cell value %v at the reference point", tt, v, rms)
+		}
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	report, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := report.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("wrong parameter count accepted")
+	}
+	if _, err := report.PredictAt(make([]float64, 4), 99); err == nil {
+		t.Fatal("out-of-range time index accepted")
+	}
+	vals := dynsys.ReferenceParams(report.Space.Sys)
+	v, err := report.PredictAt(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiber, _ := report.Predict(vals)
+	if v != fiber[0] {
+		t.Fatal("PredictAt disagrees with Predict")
+	}
+	bare := &Report{Space: report.Space}
+	if _, err := bare.Predict(vals); err == nil {
+		t.Fatal("report without decomposition accepted")
+	}
+}
