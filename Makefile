@@ -1,0 +1,41 @@
+# Developer entry points mirroring .github/workflows/ci.yml — `make ci`
+# runs exactly what the pipeline runs.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke fuzz-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass. The workers=1 vs workers=N bit-stability suites
+# double as data-race proofs for the internal/parallel kernels here.
+race:
+	$(GO) test -race -timeout 20m ./...
+
+# Full benchmark run (slow; honours M2TD_BENCH_RES).
+bench:
+	$(GO) test -run=NONE -bench=. ./...
+
+# One iteration of every benchmark — keeps benchmark code compiling and
+# running without measuring anything.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Short runs of the internal/tensor fuzz targets.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzLinearIndexRoundtrip -fuzztime=10s ./internal/tensor
+	$(GO) test -run=NONE -fuzz=FuzzDedupPreservesSum -fuzztime=10s ./internal/tensor
+
+ci: build vet test race bench-smoke fuzz-smoke
+
+clean:
+	$(GO) clean ./...

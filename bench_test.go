@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -24,8 +25,10 @@ import (
 	"repro/internal/dist"
 	"repro/internal/eval"
 	"repro/internal/increment"
+	"repro/internal/mat"
 	"repro/internal/partition"
 	"repro/internal/stitch"
+	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
 
@@ -360,6 +363,68 @@ func BenchmarkIncrementalAppend(b *testing.B) {
 		if err := tr.AppendCell(1, idx, rng.NormFloat64()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Shared-memory worker-pool benchmarks (internal/parallel) ---
+
+// benchWorkerCounts returns the worker counts to sweep: serial, a couple
+// of fixed fan-outs, and the machine's GOMAXPROCS (deduplicated).
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// benchSparseTensor builds a deterministic sparse tensor large enough to
+// cross the parallel kernels' serial-fallback thresholds.
+func benchSparseTensor(shape tensor.Shape, nnz int, seed int64) *tensor.Sparse {
+	rng := rand.New(rand.NewSource(seed))
+	s := tensor.NewSparse(shape)
+	idx := make([]int, shape.Order())
+	for e := 0; e < nnz; e++ {
+		for k, d := range shape {
+			idx[k] = rng.Intn(d)
+		}
+		s.Append(idx, rng.NormFloat64())
+	}
+	return s
+}
+
+// BenchmarkParallelTTM measures the sparse mode-0 TTM kernel — the hot
+// inner product of every HOSVD/HOOI sweep — at increasing worker-pool
+// sizes. Output is bit-identical across all sub-benchmarks; only
+// wall-clock changes.
+func BenchmarkParallelTTM(b *testing.B) {
+	s := benchSparseTensor(tensor.Shape{64, 48, 48, 16}, 200000, 1)
+	rng := rand.New(rand.NewSource(2))
+	m := mat.New(8, 64)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.TTMSparseWorkers(s, 0, m, w)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelHOSVD measures the full truncated HOSVD of a sparse
+// ensemble-scale tensor at increasing worker-pool sizes (per-mode factor
+// extraction fans out via parallel.Do; Gram/TTM kernels fan out inside).
+func BenchmarkParallelHOSVD(b *testing.B) {
+	s := benchSparseTensor(tensor.Shape{40, 32, 32, 12}, 120000, 3)
+	ranks := []int{6, 6, 6, 4}
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tucker.HOSVDWorkers(s, ranks, w)
+			}
+		})
 	}
 }
 

@@ -8,6 +8,12 @@
 //	m2tdbench -table 2 -res 12,16,20 -rank 2,4,6
 //	m2tdbench -table 3 -workers 1,2,4,8,16
 //	m2tdbench -table 5 -res 16
+//	m2tdbench -table 2 -parallel 8        # 8-worker shared-memory pool
+//
+// -workers sweeps the SIMULATED worker count of the distributed D-M2TD
+// algorithm (Table III); -parallel sets the real shared-memory worker-pool
+// size used by the decomposition kernels (0 = all CPUs, 1 = serial) and
+// never changes results — only wall-clock.
 //
 // Default scale substitutes resolution 60–80 → 12–20 and rank 5/10/20 →
 // 2/4/6 (see DESIGN.md); pass larger -res/-time/-rank values to approach
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -37,8 +44,10 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "run a multi-seed sweep of the base configuration with this many seeds instead of a table")
 		csvOut  = flag.String("csv", "", "also export comparison rows as CSV to this file (tables 2 and 4)")
 		estim   = flag.Int("estimate", 0, "paper-scale mode: factored core + this many sampled accuracy fibers (required beyond res ≈24)")
+		par     = flag.Int("parallel", 0, "shared-memory worker-pool size for the decomposition kernels (0 = all CPUs, 1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*par)
 
 	base := eval.Config{}
 	singleRes := firstInt(*res)

@@ -191,6 +191,7 @@ func decompose(st *store.Store, args []string) error {
 	out := fs.String("out", "", "output decomposition name (required)")
 	rank := fs.Int("rank", 3, "uniform target rank")
 	hooi := fs.Bool("hooi", false, "refine with HOOI iterations")
+	par := fs.Int("parallel", 0, "worker-pool size for the decomposition kernels (0 = all CPUs, 1 = serial; results are identical for any value)")
 	fs.Parse(args)
 	if *name == "" || *out == "" {
 		return fmt.Errorf("decompose: -name and -out are required")
@@ -202,9 +203,9 @@ func decompose(st *store.Store, args []string) error {
 	ranks := tucker.UniformRanks(t.Order(), *rank)
 	var dec tucker.Decomposition
 	if *hooi {
-		dec = tucker.HOOI(t, ranks, tucker.HOOIOptions{})
+		dec = tucker.HOOI(t, ranks, tucker.HOOIOptions{Workers: *par})
 	} else {
-		dec = tucker.HOSVD(t, ranks)
+		dec = tucker.HOSVDWorkers(t, ranks, *par)
 	}
 	if err := st.SaveDecomposition(*out, dec); err != nil {
 		return err

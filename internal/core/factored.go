@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
@@ -54,13 +55,17 @@ func DecomposeFactored(p *partition.Result, opts Options) (*Result, error) {
 	k := len(cfg.Pivots)
 
 	start := time.Now()
-	factors := buildFactors(p, opts.Method, ranks)
+	factors := buildFactors(p, opts.Method, ranks, opts.Workers)
 	subTime := time.Since(start)
 
 	start = time.Now()
-	// Project each sub-tensor through its own modes' factors.
-	g1 := projectSub(p.Sub1, factors)
-	g2 := projectSub(p.Sub2, factors)
+	// Project each sub-tensor through its own modes' factors; the two
+	// projections are independent and run concurrently on the shared pool.
+	var g1, g2 *tensor.Dense
+	parallel.Do(opts.Workers,
+		func() { g1 = projectSub(p.Sub1, factors, opts.Workers) },
+		func() { g2 = projectSub(p.Sub2, factors, opts.Workers) },
+	)
 
 	// Free-mode row sums: sampled configurations for plain join, the full
 	// grids for zero-join.
@@ -103,12 +108,12 @@ func checkProductStructure(p *partition.Result) error {
 
 // projectSub computes X ×ₙ Uᵀ over all of a sub-tensor's modes, with U
 // taken from the fused factor set via the sub-tensor's mode mapping.
-func projectSub(sub *partition.SubEnsemble, factors []*mat.Matrix) *tensor.Dense {
+func projectSub(sub *partition.SubEnsemble, factors []*mat.Matrix, workers int) *tensor.Dense {
 	ms := make([]*mat.Matrix, len(sub.Modes))
 	for i, m := range sub.Modes {
 		ms[i] = mat.Transpose(factors[m])
 	}
-	return tensor.MultiTTMSparse(sub.Tensor, ms)
+	return tensor.MultiTTMSparseWorkers(sub.Tensor, ms, workers)
 }
 
 // sampledRowSum accumulates Σ_{config} ⊗_i U(modes_i)(config_i, ·) over the

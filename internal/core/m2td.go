@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/stitch"
 	"repro/internal/tensor"
@@ -57,6 +58,12 @@ type Options struct {
 	// ZeroJoin selects zero-join JE-stitching for the core-recovery join
 	// tensor (Section V-C.2); plain join otherwise.
 	ZeroJoin bool
+	// Workers is the shared worker-pool size for the decomposition hot
+	// path: the X₁/X₂ sub-tensor factor extractions run concurrently
+	// (errgroup-style join) and the Gram/TTM kernels inside each fan out.
+	// 0 selects the parallel package default (GOMAXPROCS); 1 forces serial
+	// execution. Results are bit-identical for any worker count.
+	Workers int
 }
 
 // Result is an M2TD decomposition of the join tensor: Tucker factors in
@@ -97,7 +104,7 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 	// Phase 1: decompose the two low-order sub-tensors. Only the factor
 	// matrices are needed; Gram matrices are retained for CONCAT fusion.
 	start := time.Now()
-	factors := buildFactors(p, opts.Method, ranks)
+	factors := buildFactors(p, opts.Method, ranks, opts.Workers)
 	subTime := time.Since(start)
 
 	// Phase 2: JE-stitching.
@@ -112,7 +119,7 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 
 	// Phase 3: recover the core through the assembled factors.
 	start = time.Now()
-	coreT := tucker.CoreFromFactors(j, factors)
+	coreT := tucker.CoreFromFactorsWorkers(j, factors, opts.Workers)
 	coreTime := time.Since(start)
 
 	return &Result{
@@ -128,32 +135,60 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 // buildFactors runs the sub-tensor decompositions and assembles the fused
 // factor set in original mode order: pivot factors per the fusion method,
 // free factors from the owning sub-tensor's HOSVD.
-func buildFactors(p *partition.Result, method Method, ranks []int) []*mat.Matrix {
+//
+// The X₁ and X₂ decompositions are independent by construction, so every
+// per-mode factor extraction — pivot modes (which read both sub-tensors)
+// and the free modes of either side — is issued as one task on the shared
+// worker pool and joined errgroup-style. Each task writes only its own
+// factors[m] slot and every kernel inside is deterministic, so the result
+// is bit-identical for any worker count.
+func buildFactors(p *partition.Result, method Method, ranks []int, workers int) []*mat.Matrix {
 	cfg := p.Config
 	k := len(cfg.Pivots)
 	factors := make([]*mat.Matrix, len(ranks))
+	tasks := make([]func(), 0, len(ranks))
 	for i, m := range cfg.Pivots {
+		i, m := i, m
 		r := ranks[m]
-		switch method {
-		case AVG:
-			u1 := tensor.LeadingModeVectors(p.Sub1.Tensor, i, r)
-			u2 := tensor.LeadingModeVectors(p.Sub2.Tensor, i, r)
-			factors[m] = mat.Average(u1, u2)
-		case CONCAT:
-			g := mat.Add(tensor.ModeGram(p.Sub1.Tensor, i), tensor.ModeGram(p.Sub2.Tensor, i))
-			factors[m] = mat.LeadingEigenvectors(g, r)
-		case SELECT:
-			u1 := tensor.LeadingModeVectors(p.Sub1.Tensor, i, r)
-			u2 := tensor.LeadingModeVectors(p.Sub2.Tensor, i, r)
-			factors[m] = RowSelect(u1, u2)
-		}
+		tasks = append(tasks, func() {
+			switch method {
+			case AVG:
+				var u1, u2 *mat.Matrix
+				parallel.Do(workers,
+					func() { u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
+					func() { u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
+				)
+				factors[m] = mat.Average(u1, u2)
+			case CONCAT:
+				var g1, g2 *mat.Matrix
+				parallel.Do(workers,
+					func() { g1 = tensor.ModeGramWorkers(p.Sub1.Tensor, i, workers) },
+					func() { g2 = tensor.ModeGramWorkers(p.Sub2.Tensor, i, workers) },
+				)
+				factors[m] = mat.LeadingEigenvectors(mat.Add(g1, g2), r)
+			case SELECT:
+				var u1, u2 *mat.Matrix
+				parallel.Do(workers,
+					func() { u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
+					func() { u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
+				)
+				factors[m] = RowSelect(u1, u2)
+			}
+		})
 	}
 	for i, m := range cfg.Free1 {
-		factors[m] = tensor.LeadingModeVectors(p.Sub1.Tensor, k+i, ranks[m])
+		i, m := i, m
+		tasks = append(tasks, func() {
+			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, k+i, ranks[m], workers)
+		})
 	}
 	for i, m := range cfg.Free2 {
-		factors[m] = tensor.LeadingModeVectors(p.Sub2.Tensor, k+i, ranks[m])
+		i, m := i, m
+		tasks = append(tasks, func() {
+			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, k+i, ranks[m], workers)
+		})
 	}
+	parallel.Do(workers, tasks...)
 	return factors
 }
 

@@ -3,6 +3,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Add returns a + b. Shapes must match.
@@ -45,70 +47,107 @@ func Average(a, b *Matrix) *Matrix {
 	return out
 }
 
-// Mul returns the matrix product a·b.
-func Mul(a, b *Matrix) *Matrix {
+// mulBlockK is the k-panel width of the blocked matmul kernel: b's rows
+// are streamed panel by panel so a panel of b stays cache-resident while
+// a block of output rows accumulates against it.
+const mulBlockK = 128
+
+// Mul returns the matrix product a·b. It runs on the package-default
+// worker pool; see MulWorkers.
+func Mul(a, b *Matrix) *Matrix { return MulWorkers(a, b, 0) }
+
+// MulWorkers is the blocked, row-parallel matrix product: output rows are
+// partitioned across workers (disjoint writes), and within a row block the
+// k dimension is processed in ascending panels, so every output element
+// accumulates its k contributions in exactly the serial ikj order —
+// bit-identical results for any worker count.
+func MulWorkers(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	// ikj loop order: stream b row-wise for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
+	parallel.For(a.Rows, workers, func(i0, i1 int) {
+		for kk := 0; kk < a.Cols; kk += mulBlockK {
+			kend := kk + mulBlockK
+			if kend > a.Cols {
+				kend = a.Cols
 			}
-			brow := b.Row(k)
-			for j := range brow {
-				orow[j] += aik * brow[j]
+			for i := i0; i < i1; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)
+				for k := kk; k < kend; k++ {
+					aik := arow[k]
+					if aik == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j := range brow {
+						orow[j] += aik * brow[j]
+					}
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// MulTransA returns aᵀ·b.
-func MulTransA(a, b *Matrix) *Matrix {
+// MulTransA returns aᵀ·b. It runs on the package-default worker pool; see
+// MulTransAWorkers.
+func MulTransA(a, b *Matrix) *Matrix { return MulTransAWorkers(a, b, 0) }
+
+// MulTransAWorkers is aᵀ·b with output rows (a's columns) partitioned
+// across workers. Each worker walks k in ascending order for its own
+// output rows, matching the serial accumulation order exactly.
+func MulTransAWorkers(a, b *Matrix, workers int) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: MulTransA shape mismatch (%d×%d)ᵀ · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bkj := range brow {
-				orow[j] += aki * bkj
+	parallel.For(a.Cols, workers, func(i0, i1 int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := i0; i < i1; i++ {
+				aki := arow[i]
+				if aki == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bkj := range brow {
+					orow[j] += aki * bkj
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// MulTransB returns a·bᵀ.
-func MulTransB(a, b *Matrix) *Matrix {
+// MulTransB returns a·bᵀ. It runs on the package-default worker pool; see
+// MulTransBWorkers.
+func MulTransB(a, b *Matrix) *Matrix { return MulTransBWorkers(a, b, 0) }
+
+// MulTransBWorkers is a·bᵀ with output rows partitioned across workers;
+// each row is an independent set of dot products, so results are
+// bit-identical for any worker count.
+func MulTransBWorkers(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulTransB shape mismatch %d×%d · (%d×%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	parallel.For(a.Rows, workers, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
-	}
+	})
 	return out
 }
 
@@ -132,17 +171,24 @@ func MulVec(a *Matrix, x []float64) []float64 {
 // Transpose returns aᵀ.
 func Transpose(a *Matrix) *Matrix {
 	out := New(a.Cols, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+	parallel.ForGrain(a.Rows, 0, 64, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			for j := 0; j < a.Cols; j++ {
+				out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Gram returns a·aᵀ (the row Gram matrix). HOSVD uses this on mode-n
 // matricizations: left singular vectors of X are eigenvectors of X·Xᵀ.
+// It runs on the package-default worker pool; see GramWorkers.
 func Gram(a *Matrix) *Matrix { return MulTransB(a, a) }
+
+// GramWorkers is Gram with the accumulation fanned out over the given
+// worker count (rows of the output are computed independently).
+func GramWorkers(a *Matrix, workers int) *Matrix { return MulTransBWorkers(a, a, workers) }
 
 // FrobeniusNorm returns the Frobenius norm ‖a‖F.
 func FrobeniusNorm(a *Matrix) float64 {

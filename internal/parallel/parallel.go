@@ -1,0 +1,252 @@
+// Package parallel is the shared worker-pool layer under every hot kernel
+// in the decomposition stack (sparse TTM, matricization Gram matrices,
+// dense matmul, the HOSVD mode loop, and the X₁/X₂ sub-decompositions of
+// M2TD).
+//
+// Design rules, chosen so that concurrency never changes results:
+//
+//   - Scheduling is static and deterministic: For splits [0, n) into
+//     contiguous near-equal ranges, one per worker, with boundaries that
+//     depend only on n and the worker count — never on timing.
+//   - Kernels built on For partition their OUTPUT index space, so each
+//     element is written by exactly one goroutine in the same order the
+//     serial loop would use. Results are bit-identical for any worker
+//     count, including workers=1.
+//   - Reductions that cannot partition their output use Reduce, which
+//     accumulates into per-chunk partial buffers over a chunk grid that is
+//     fixed independently of the worker count and merges the partials in
+//     ascending chunk order. Results are again bit-stable for any worker
+//     count (though the fixed chunking means they may differ — by FP
+//     reassociation only — from a single undivided serial loop).
+//   - Worker panics are captured and re-raised on the calling goroutine,
+//     so a panicking kernel behaves exactly like its serial counterpart.
+//
+// The package-level default worker count is runtime.GOMAXPROCS(0); knobs
+// on HOOIOptions, the tucker entry points, core.Options, and the public
+// m2td.Config override it per call with a positive value (1 = serial).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide default worker count; 0 means
+// "use runtime.GOMAXPROCS(0)".
+var defaultWorkers atomic.Int64
+
+// DefaultWorkers returns the process-wide default worker count:
+// runtime.GOMAXPROCS(0) unless overridden by SetDefaultWorkers.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefaultWorkers overrides the process-wide default worker count used
+// when a kernel is invoked with workers <= 0. Passing n <= 0 restores the
+// GOMAXPROCS default. It is safe for concurrent use.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Resolve normalizes a workers knob: a positive value is returned as-is,
+// anything else resolves to DefaultWorkers().
+func Resolve(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return DefaultWorkers()
+}
+
+// workerPanic carries a captured worker panic back to the caller.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+// capture records the first panic observed across workers.
+type capture struct {
+	mu    sync.Mutex
+	first *workerPanic
+}
+
+func (c *capture) recover() {
+	if r := recover(); r != nil {
+		c.mu.Lock()
+		if c.first == nil {
+			buf := make([]byte, 8192)
+			c.first = &workerPanic{val: r, stack: buf[:runtime.Stack(buf, false)]}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *capture) repanic(kind string) {
+	if c.first != nil {
+		panic(fmt.Sprintf("parallel: %s panic: %v\n%s", kind, c.first.val, c.first.stack))
+	}
+}
+
+// For runs fn over the half-open range [0, n) split into contiguous
+// near-equal chunks, one per worker. Chunk boundaries depend only on n and
+// the resolved worker count, and every index belongs to exactly one chunk,
+// so kernels that write disjoint outputs per index are deterministic under
+// any worker count. fn is never invoked with an empty range; with a single
+// effective worker it runs inline as fn(0, n). workers <= 0 selects the
+// package default; the effective worker count is also capped at n.
+//
+// For is for loops whose per-index work is substantial (a tensor fiber, a
+// matrix row, a whole mode). For fine-grained element loops use ForGrain,
+// which caps the fan-out so each worker gets at least a grain of work.
+//
+// A panic in any worker is re-raised on the calling goroutine after all
+// workers have finished.
+func For(n, workers int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var (
+		wg sync.WaitGroup
+		pc capture
+	)
+	for w := 0; w < workers; w++ {
+		start := w * n / workers
+		end := (w + 1) * n / workers
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			defer pc.recover()
+			fn(start, end)
+		}(start, end)
+	}
+	wg.Wait()
+	pc.repanic("worker")
+}
+
+// ForGrain is For with a minimum per-worker grain: the effective worker
+// count is capped at n/grain (at least 1), so cheap element loops are not
+// fanned out across more goroutines than the work can amortise. grain <= 0
+// means 1. Determinism properties match For.
+func ForGrain(n, workers, grain int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers = Resolve(workers)
+	if max := n / grain; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	For(n, workers, fn)
+}
+
+// Do runs the tasks concurrently on up to `workers` goroutines
+// (errgroup-style join: it returns only after every task has finished) and
+// re-raises the first worker panic on the caller. Tasks are claimed in
+// index order, so with workers=1 they run exactly in the order given.
+// workers <= 0 selects the package default.
+func Do(workers int, tasks ...func()) {
+	n := len(tasks)
+	if n == 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		pc   capture
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer pc.recover()
+					tasks[i]()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	pc.repanic("task")
+}
+
+// reduceChunks is the fixed chunk-grid size for Reduce. It is a constant —
+// deliberately NOT derived from the worker count or GOMAXPROCS — so the
+// partial-buffer merge order, and therefore every floating-point rounding
+// decision, is identical no matter how many workers execute the chunks.
+const reduceChunks = 32
+
+// Reduce accumulates a reduction over [0, n) deterministically: the range
+// is split into a fixed chunk grid (independent of the worker count), each
+// chunk fills its own partial buffer via body, and the partials are merged
+// into a single result in ascending chunk order. Because both the chunk
+// boundaries and the merge order are worker-count-independent, the result
+// is bit-stable for any workers value, including 1.
+//
+// makePartial allocates one zero-valued partial accumulator; body folds the
+// index range [start, end) into it; merge folds `from` into `into` and
+// returns the combined accumulator.
+func Reduce[T any](n, workers int, makePartial func() T, body func(partial T, start, end int), merge func(into, from T) T) T {
+	if n <= 0 {
+		return makePartial()
+	}
+	chunks := reduceChunks
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		p := makePartial()
+		body(p, 0, n)
+		return p
+	}
+	partials := make([]T, chunks)
+	For(chunks, workers, func(cs, ce int) {
+		for c := cs; c < ce; c++ {
+			p := makePartial()
+			body(p, c*n/chunks, (c+1)*n/chunks)
+			partials[c] = p
+		}
+	})
+	acc := partials[0]
+	for c := 1; c < chunks; c++ {
+		acc = merge(acc, partials[c])
+	}
+	return acc
+}

@@ -4,23 +4,34 @@ import (
 	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // Matricize returns the mode-n matricization X(n) of a dense tensor as an
-// I_n × Π_{k≠n} I_k matrix.
-func Matricize(d *Dense, n int) *mat.Matrix {
+// I_n × Π_{k≠n} I_k matrix. It runs on the package-default worker pool;
+// see MatricizeWorkers.
+func Matricize(d *Dense, n int) *mat.Matrix { return MatricizeWorkers(d, n, 0) }
+
+// MatricizeWorkers is Matricize on an explicit worker count. Each linear
+// index maps to a unique (row, column) output cell, so partitioning the
+// element range across workers is write-disjoint and bit-identical to the
+// serial loop for any worker count.
+func MatricizeWorkers(d *Dense, n, workers int) *mat.Matrix {
 	shape := d.Shape
 	rows := shape[n]
 	cols := shape.MatricizeCols(n)
 	out := mat.New(rows, cols)
-	idx := make([]int, shape.Order())
-	for lin, v := range d.Data {
-		if v == 0 {
-			continue
+	parallel.ForGrain(len(d.Data), workers, 4096, func(lo, hi int) {
+		idx := make([]int, shape.Order())
+		for lin := lo; lin < hi; lin++ {
+			v := d.Data[lin]
+			if v == 0 {
+				continue
+			}
+			shape.MultiIndex(lin, idx)
+			out.Set(idx[n], shape.MatricizeColumn(n, idx), v)
 		}
-		shape.MultiIndex(lin, idx)
-		out.Set(idx[n], shape.MatricizeColumn(n, idx), v)
-	}
+	})
 	return out
 }
 
@@ -57,13 +68,32 @@ func Fold(m *mat.Matrix, n int, shape Shape) *Dense {
 
 // ModeGram computes G = X(n) · X(n)ᵀ (an I_n × I_n matrix) directly from
 // sparse coordinates, without materialising the matricization whose column
-// count is the product of all other mode sizes.
+// count is the product of all other mode sizes. It runs on the
+// package-default worker pool; see ModeGramWorkers.
+func ModeGram(s *Sparse, n int) *mat.Matrix { return ModeGramWorkers(s, n, 0) }
+
+// gramTriple is one sparse entry keyed by its matricization column.
+type gramTriple struct {
+	col int
+	row int
+	val float64
+}
+
+// ModeGramWorkers is ModeGram on an explicit worker count.
 //
 // Entries are bucketed by matricization column; within one column the
 // contribution to G is the outer product of the column's sparse rows. This
 // is the workhorse behind sparse HOSVD: left singular vectors of X(n) are
 // the leading eigenvectors of G.
-func ModeGram(s *Sparse, n int) *mat.Matrix {
+//
+// Determinism: the column bucketing uses a STABLE sort, so entries within
+// a column group keep their storage order (an index-ordered walk rather
+// than a comparison-sort-dependent one), and the accumulation is
+// partitioned by OUTPUT Gram row — each worker scans the column groups in
+// ascending order and accumulates only the rows it owns, reproducing the
+// serial floating-point order exactly. Results are bit-identical for any
+// worker count.
+func ModeGramWorkers(s *Sparse, n, workers int) *mat.Matrix {
 	rows := s.Shape[n]
 	g := mat.New(rows, rows)
 	nnz := s.NNZ()
@@ -72,77 +102,99 @@ func ModeGram(s *Sparse, n int) *mat.Matrix {
 	}
 	o := s.Order()
 
-	// Collect (column, row, value) triples and sort by column.
-	type triple struct {
-		col int
-		row int
-		val float64
-	}
-	ts := make([]triple, nnz)
-	for e := 0; e < nnz; e++ {
-		idx := s.Idx[e*o : (e+1)*o]
-		ts[e] = triple{col: s.Shape.MatricizeColumn(n, idx), row: idx[n], val: s.Vals[e]}
-	}
-	sort.Slice(ts, func(a, b int) bool { return ts[a].col < ts[b].col })
+	// Collect (column, row, value) triples in storage order (parallel:
+	// disjoint assignment per entry range).
+	ts := make([]gramTriple, nnz)
+	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			idx := s.Idx[e*o : (e+1)*o]
+			ts[e] = gramTriple{col: s.Shape.MatricizeColumn(n, idx), row: idx[n], val: s.Vals[e]}
+		}
+	})
+	sort.SliceStable(ts, func(a, b int) bool { return ts[a].col < ts[b].col })
 
-	// For each column group, accumulate the symmetric outer product.
+	// Column-group boundaries: bounds[i] .. bounds[i+1] is one group.
+	bounds := make([]int, 0, 64)
 	for start := 0; start < nnz; {
+		bounds = append(bounds, start)
 		end := start + 1
 		for end < nnz && ts[end].col == ts[start].col {
 			end++
 		}
-		for a := start; a < end; a++ {
-			ga := g.Row(ts[a].row)
-			va := ts[a].val
-			for b := start; b < end; b++ {
-				ga[ts[b].row] += va * ts[b].val
-			}
-		}
 		start = end
 	}
+	bounds = append(bounds, nnz)
+
+	// Accumulate the symmetric outer products, partitioned by Gram row.
+	parallel.For(rows, workers, func(r0, r1 int) {
+		for gi := 0; gi+1 < len(bounds); gi++ {
+			start, end := bounds[gi], bounds[gi+1]
+			for a := start; a < end; a++ {
+				ra := ts[a].row
+				if ra < r0 || ra >= r1 {
+					continue
+				}
+				ga := g.Row(ra)
+				va := ts[a].val
+				for b := start; b < end; b++ {
+					ga[ts[b].row] += va * ts[b].val
+				}
+			}
+		}
+	})
 	return g
 }
 
 // ModeGramDense computes X(n)·X(n)ᵀ for a dense tensor without allocating
 // the matricization; useful when the unfolding's column count is large.
-func ModeGramDense(d *Dense, n int) *mat.Matrix {
+// It runs on the package-default worker pool; see ModeGramDenseWorkers.
+func ModeGramDense(d *Dense, n int) *mat.Matrix { return ModeGramDenseWorkers(d, n, 0) }
+
+// ModeGramDenseWorkers is ModeGramDense on an explicit worker count. The
+// accumulation is partitioned by OUTPUT Gram row: every worker walks the
+// fibers in linear order with a private fiber buffer and accumulates only
+// the rows it owns, reproducing the serial floating-point order exactly —
+// bit-identical results for any worker count.
+func ModeGramDenseWorkers(d *Dense, n, workers int) *mat.Matrix {
 	rows := d.Shape[n]
 	g := mat.New(rows, rows)
 	shape := d.Shape
 	strides := shape.Strides()
 	stride := strides[n]
+	total := shape.NumElements()
 	// Iterate over all "columns" (fixed values of the other modes): for each
 	// we have a length-I_n fiber spaced by stride.
-	total := shape.NumElements()
-	fiber := make([]float64, rows)
-	idx := make([]int, shape.Order())
-	for lin := 0; lin < total; lin++ {
-		shape.MultiIndex(lin, idx)
-		if idx[n] != 0 {
-			continue // visit each fiber once, at its idx[n]==0 element
-		}
-		base := lin
-		zero := true
-		for r := 0; r < rows; r++ {
-			fiber[r] = d.Data[base+r*stride]
-			if fiber[r] != 0 {
-				zero = false
+	parallel.For(rows, workers, func(r0, r1 int) {
+		fiber := make([]float64, rows)
+		idx := make([]int, shape.Order())
+		for lin := 0; lin < total; lin++ {
+			shape.MultiIndex(lin, idx)
+			if idx[n] != 0 {
+				continue // visit each fiber once, at its idx[n]==0 element
 			}
-		}
-		if zero {
-			continue
-		}
-		for a := 0; a < rows; a++ {
-			if fiber[a] == 0 {
+			base := lin
+			zero := true
+			for r := 0; r < rows; r++ {
+				fiber[r] = d.Data[base+r*stride]
+				if fiber[r] != 0 {
+					zero = false
+				}
+			}
+			if zero {
 				continue
 			}
-			ga := g.Row(a)
-			va := fiber[a]
-			for b := 0; b < rows; b++ {
-				ga[b] += va * fiber[b]
+			for a := r0; a < r1; a++ {
+				if fiber[a] == 0 {
+					continue
+				}
+				ga := g.Row(a)
+				va := fiber[a]
+				for b := 0; b < rows; b++ {
+					ga[b] += va * fiber[b]
+				}
 			}
 		}
-	}
+	})
 	return g
 }
 
@@ -150,5 +202,12 @@ func ModeGramDense(d *Dense, n int) *mat.Matrix {
 // mode-n matricization of the sparse tensor, as an I_n × r matrix, via the
 // Gram eigendecomposition route.
 func LeadingModeVectors(s *Sparse, n, r int) *mat.Matrix {
-	return mat.LeadingEigenvectors(ModeGram(s, n), r)
+	return LeadingModeVectorsWorkers(s, n, r, 0)
+}
+
+// LeadingModeVectorsWorkers is LeadingModeVectors on an explicit worker
+// count (the Gram accumulation parallelises; the small I_n × I_n
+// eigendecomposition stays serial).
+func LeadingModeVectorsWorkers(s *Sparse, n, r, workers int) *mat.Matrix {
+	return mat.LeadingEigenvectors(ModeGramWorkers(s, n, workers), r)
 }

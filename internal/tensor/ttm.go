@@ -4,13 +4,28 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
+
+// ttmGrain is the minimum number of linear indices per worker when fanning
+// a dense TTM out over fiber bases; below it the goroutine overhead beats
+// the arithmetic.
+const ttmGrain = 2048
 
 // TTM computes the mode-n tensor–matrix product Y = X ×ₙ M for a dense
 // tensor, where M is J × I_n and the result has mode-n size J:
 //
 //	Y(i₁,…,j,…,i_N) = Σ_{iₙ} M(j, iₙ) · X(i₁,…,iₙ,…,i_N).
-func TTM(x *Dense, n int, m *mat.Matrix) *Dense {
+//
+// It runs on the package-default worker pool; see TTMWorkers.
+func TTM(x *Dense, n int, m *mat.Matrix) *Dense { return TTMWorkers(x, n, m, 0) }
+
+// TTMWorkers is TTM on an explicit worker count (workers <= 0 selects the
+// parallel package default). The linear index space is partitioned across
+// workers; every fiber base writes a disjoint set of output elements in
+// the same order as the serial loop, so the result is bit-identical for
+// any worker count.
+func TTMWorkers(x *Dense, n int, m *mat.Matrix, workers int) *Dense {
 	if m.Cols != x.Shape[n] {
 		panic(fmt.Sprintf("tensor: TTM mode %d size %d != matrix cols %d", n, x.Shape[n], m.Cols))
 	}
@@ -24,28 +39,30 @@ func TTM(x *Dense, n int, m *mat.Matrix) *Dense {
 	outSize := m.Rows
 
 	// Iterate over fibers: every element with idx[n] == 0 is a fiber base.
-	idx := make([]int, x.Shape.Order())
 	total := x.Shape.NumElements()
 	outStrides := outShape.Strides()
-	for lin := 0; lin < total; lin++ {
-		x.Shape.MultiIndex(lin, idx)
-		if idx[n] != 0 {
-			continue
-		}
-		// Same multi-index with mode n at 0 in the output tensor.
-		outBase := 0
-		for k, i := range idx {
-			outBase += i * outStrides[k]
-		}
-		for j := 0; j < outSize; j++ {
-			var s float64
-			row := m.Row(j)
-			for i := 0; i < inSize; i++ {
-				s += row[i] * x.Data[lin+i*inStride]
+	parallel.ForGrain(total, workers, ttmGrain, func(lo, hi int) {
+		idx := make([]int, x.Shape.Order())
+		for lin := lo; lin < hi; lin++ {
+			x.Shape.MultiIndex(lin, idx)
+			if idx[n] != 0 {
+				continue
 			}
-			out.Data[outBase+j*outStride] = s
+			// Same multi-index with mode n at 0 in the output tensor.
+			outBase := 0
+			for k, i := range idx {
+				outBase += i * outStrides[k]
+			}
+			for j := 0; j < outSize; j++ {
+				var s float64
+				row := m.Row(j)
+				for i := 0; i < inSize; i++ {
+					s += row[i] * x.Data[lin+i*inStride]
+				}
+				out.Data[outBase+j*outStride] = s
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -53,7 +70,22 @@ func TTM(x *Dense, n int, m *mat.Matrix) *Dense {
 // result. This is the entry point for core recovery G = J ×₁U₁ᵀ…: the
 // first product consumes COO coordinates directly; subsequent products use
 // the dense TTM as dimensions shrink to the target ranks.
-func TTMSparse(x *Sparse, n int, m *mat.Matrix) *Dense {
+//
+// It runs on the package-default worker pool; see TTMSparseWorkers.
+func TTMSparse(x *Sparse, n int, m *mat.Matrix) *Dense { return TTMSparseWorkers(x, n, m, 0) }
+
+// ttmSparseMinNNZ gates the two-phase parallel sparse TTM; tiny tensors
+// run the single-pass serial loop.
+const ttmSparseMinNNZ = 4096
+
+// TTMSparseWorkers is TTMSparse on an explicit worker count. The parallel
+// path runs in two phases: (1) decode each entry's output base offset and
+// mode-n coordinate (disjoint writes across entry ranges), then (2)
+// partition the OUTPUT mode-n slabs j across workers, each scanning the
+// entry list in storage order. Every output element is therefore
+// accumulated by exactly one worker in exactly the serial entry order —
+// bit-identical results for any worker count.
+func TTMSparseWorkers(x *Sparse, n int, m *mat.Matrix, workers int) *Dense {
 	if m.Cols != x.Shape[n] {
 		panic(fmt.Sprintf("tensor: TTMSparse mode %d size %d != matrix cols %d", n, x.Shape[n], m.Cols))
 	}
@@ -63,17 +95,53 @@ func TTMSparse(x *Sparse, n int, m *mat.Matrix) *Dense {
 	outStrides := outShape.Strides()
 	stride := outStrides[n]
 
-	x.Each(func(idx []int, v float64) {
-		base := 0
-		for k, i := range idx {
-			if k == n {
-				continue
+	nnz := x.NNZ()
+	if parallel.Resolve(workers) <= 1 || nnz < ttmSparseMinNNZ || m.Rows == 1 {
+		x.Each(func(idx []int, v float64) {
+			base := 0
+			for k, i := range idx {
+				if k == n {
+					continue
+				}
+				base += i * outStrides[k]
 			}
-			base += i * outStrides[k]
+			in := idx[n]
+			for j := 0; j < m.Rows; j++ {
+				out.Data[base+j*stride] += v * m.At(j, in)
+			}
+		})
+		return out
+	}
+
+	// Phase 1: decode per-entry output bases and mode-n coordinates.
+	o := x.Order()
+	bases := make([]int, nnz)
+	ins := make([]int, nnz)
+	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			idx := x.Idx[e*o : (e+1)*o]
+			base := 0
+			for k, i := range idx {
+				if k == n {
+					continue
+				}
+				base += i * outStrides[k]
+			}
+			bases[e] = base
+			ins[e] = idx[n]
 		}
-		in := idx[n]
-		for j := 0; j < m.Rows; j++ {
-			out.Data[base+j*stride] += v * m.At(j, in)
+	})
+
+	// Phase 2: each worker owns a contiguous range of output slabs j and
+	// scans every entry in storage order.
+	parallel.For(m.Rows, workers, func(j0, j1 int) {
+		for e := 0; e < nnz; e++ {
+			v := x.Vals[e]
+			base := bases[e]
+			in := ins[e]
+			for j := j0; j < j1; j++ {
+				out.Data[base+j*stride] += v * m.At(j, in)
+			}
 		}
 	})
 	return out
@@ -83,7 +151,10 @@ func TTMSparse(x *Sparse, n int, m *mat.Matrix) *Dense {
 // A nil entry skips that mode. Matrices are applied in increasing mode
 // order; since each M[k] typically has far fewer rows than columns
 // (rank ≪ mode size), intermediate tensors shrink monotonically.
-func MultiTTM(x *Dense, ms []*mat.Matrix) *Dense {
+func MultiTTM(x *Dense, ms []*mat.Matrix) *Dense { return MultiTTMWorkers(x, ms, 0) }
+
+// MultiTTMWorkers is MultiTTM on an explicit worker count.
+func MultiTTMWorkers(x *Dense, ms []*mat.Matrix, workers int) *Dense {
 	if len(ms) != x.Shape.Order() {
 		panic(fmt.Sprintf("tensor: MultiTTM got %d matrices for order-%d tensor", len(ms), x.Shape.Order()))
 	}
@@ -92,14 +163,17 @@ func MultiTTM(x *Dense, ms []*mat.Matrix) *Dense {
 		if m == nil {
 			continue
 		}
-		cur = TTM(cur, n, m)
+		cur = TTMWorkers(cur, n, m, workers)
 	}
 	return cur
 }
 
 // MultiTTMSparse applies all mode products to a sparse tensor: the first
 // non-nil matrix consumes the sparse input, the rest proceed densely.
-func MultiTTMSparse(x *Sparse, ms []*mat.Matrix) *Dense {
+func MultiTTMSparse(x *Sparse, ms []*mat.Matrix) *Dense { return MultiTTMSparseWorkers(x, ms, 0) }
+
+// MultiTTMSparseWorkers is MultiTTMSparse on an explicit worker count.
+func MultiTTMSparseWorkers(x *Sparse, ms []*mat.Matrix, workers int) *Dense {
 	if len(ms) != x.Order() {
 		panic(fmt.Sprintf("tensor: MultiTTMSparse got %d matrices for order-%d tensor", len(ms), x.Order()))
 	}
@@ -107,7 +181,7 @@ func MultiTTMSparse(x *Sparse, ms []*mat.Matrix) *Dense {
 	start := -1
 	for n, m := range ms {
 		if m != nil {
-			cur = TTMSparse(x, n, m)
+			cur = TTMSparseWorkers(x, n, m, workers)
 			start = n
 			break
 		}
@@ -119,12 +193,12 @@ func MultiTTMSparse(x *Sparse, ms []*mat.Matrix) *Dense {
 		if ms[n] == nil {
 			continue
 		}
-		cur = TTM(cur, n, ms[n])
+		cur = TTMWorkers(cur, n, ms[n], workers)
 	}
 	return cur
 }
 
-// TuckerReconstruct computes X̃ = G ×₁ U(1) ×₂ U(2) … ×ₙ U(N), expanding a
+// TuckerReconstruct computes X̃ = G ×₁ U(1) ×₂ … ×ₙ U(N), expanding a
 // core tensor back to the full space through factor matrices U(n) of shape
 // I_n × r_n.
 func TuckerReconstruct(core *Dense, factors []*mat.Matrix) *Dense {

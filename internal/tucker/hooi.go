@@ -15,6 +15,14 @@ type HOOIOptions struct {
 	// Tolerance stops iteration when the captured core energy improves by
 	// less than this relative amount between sweeps (default 1e-8).
 	Tolerance float64
+	// Workers is the worker-pool size for the TTM/Gram kernels inside each
+	// sweep (and the HOSVD initialisation). 0 selects the parallel package
+	// default (GOMAXPROCS); 1 forces serial execution. The alternating mode
+	// updates themselves stay sequential — each mode re-optimises against
+	// the latest factors of the others (Gauss–Seidel), which is what gives
+	// HOOI its monotone energy guarantee — but every kernel inside a sweep
+	// fans out. Results are bit-identical for any worker count.
+	Workers int
 }
 
 func (o HOOIOptions) normalize() HOOIOptions {
@@ -41,9 +49,10 @@ func HOOI(x *tensor.Sparse, ranks []int, opts HOOIOptions) Decomposition {
 	opts = opts.normalize()
 	ranks = ClipRanks(x.Shape, ranks)
 	order := x.Order()
+	w := opts.Workers
 
 	// Initialise from HOSVD.
-	dec := HOSVD(x, ranks)
+	dec := HOSVDWorkers(x, ranks, w)
 	factors := dec.Factors
 
 	prevEnergy := dec.Core.Norm()
@@ -56,17 +65,17 @@ func HOOI(x *tensor.Sparse, ranks []int, opts HOOIOptions) Decomposition {
 					ms[k] = mat.Transpose(factors[k])
 				}
 			}
-			y := tensor.MultiTTMSparse(x, ms)
-			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDense(y, n), ranks[n])
+			y := tensor.MultiTTMSparseWorkers(x, ms, w)
+			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(y, n, w), ranks[n])
 		}
-		core := tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+		core := tensor.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
 		energy := core.Norm()
 		if energy-prevEnergy <= opts.Tolerance*(prevEnergy+1e-300) {
 			return Decomposition{Core: core, Factors: factors, Ranks: ranks}
 		}
 		prevEnergy = energy
 	}
-	core := tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+	core := tensor.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
 	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
 }
 
@@ -74,7 +83,7 @@ func HOOI(x *tensor.Sparse, ranks []int, opts HOOIOptions) Decomposition {
 func HOOIDense(x *tensor.Dense, ranks []int, opts HOOIOptions) Decomposition {
 	sp := x.ToSparse(0)
 	if sp.NNZ() == 0 {
-		return HOSVDDense(x, ranks)
+		return HOSVDDenseWorkers(x, ranks, opts.Workers)
 	}
 	return HOOI(sp, ranks, opts)
 }

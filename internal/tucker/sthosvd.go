@@ -15,32 +15,47 @@ import (
 //
 // The first mode consumes the sparse input directly; the remaining modes
 // operate on the dense partially-projected tensor.
-func STHOSVD(x *tensor.Sparse, ranks []int) Decomposition {
+//
+// It runs on the package-default worker pool; see STHOSVDWorkers.
+func STHOSVD(x *tensor.Sparse, ranks []int) Decomposition { return STHOSVDWorkers(x, ranks, 0) }
+
+// STHOSVDWorkers is STHOSVD on an explicit worker count. The mode order
+// is inherently sequential (each projection feeds the next mode), but the
+// Gram accumulation and TTM at every step fan out across the pool, and
+// every kernel preserves the serial floating-point order — bit-identical
+// results for any worker count.
+func STHOSVDWorkers(x *tensor.Sparse, ranks []int, workers int) Decomposition {
 	ranks = ClipRanks(x.Shape, ranks)
 	order := x.Order()
 	factors := make([]*mat.Matrix, order)
 
 	// Mode 0 from the sparse tensor.
-	factors[0] = tensor.LeadingModeVectors(x, 0, ranks[0])
-	cur := tensor.TTMSparse(x, 0, mat.Transpose(factors[0]))
+	factors[0] = tensor.LeadingModeVectorsWorkers(x, 0, ranks[0], workers)
+	cur := tensor.TTMSparseWorkers(x, 0, mat.Transpose(factors[0]), workers)
 
 	// Remaining modes from the shrinking dense tensor.
 	for n := 1; n < order; n++ {
-		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDense(cur, n), ranks[n])
-		cur = tensor.TTM(cur, n, mat.Transpose(factors[n]))
+		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(cur, n, workers), ranks[n])
+		cur = tensor.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
 	}
 	return Decomposition{Core: cur, Factors: factors, Ranks: ranks}
 }
 
 // STHOSVDDense runs the sequentially truncated HOSVD on a dense tensor.
+// It runs on the package-default worker pool; see STHOSVDDenseWorkers.
 func STHOSVDDense(x *tensor.Dense, ranks []int) Decomposition {
+	return STHOSVDDenseWorkers(x, ranks, 0)
+}
+
+// STHOSVDDenseWorkers is STHOSVDDense on an explicit worker count.
+func STHOSVDDenseWorkers(x *tensor.Dense, ranks []int, workers int) Decomposition {
 	ranks = ClipRanks(x.Shape, ranks)
 	order := x.Shape.Order()
 	factors := make([]*mat.Matrix, order)
 	cur := x
 	for n := 0; n < order; n++ {
-		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDense(cur, n), ranks[n])
-		cur = tensor.TTM(cur, n, mat.Transpose(factors[n]))
+		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(cur, n, workers), ranks[n])
+		cur = tensor.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
 	}
 	return Decomposition{Core: cur, Factors: factors, Ranks: ranks}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -54,27 +55,52 @@ func UniformRanks(order, r int) []int {
 }
 
 // HOSVD decomposes a sparse tensor with the given per-mode target ranks.
-func HOSVD(x *tensor.Sparse, ranks []int) Decomposition {
+// It runs on the package-default worker pool; see HOSVDWorkers.
+func HOSVD(x *tensor.Sparse, ranks []int) Decomposition { return HOSVDWorkers(x, ranks, 0) }
+
+// HOSVDWorkers is HOSVD on an explicit worker count (workers <= 0 selects
+// the parallel package default, 1 forces serial execution). The per-mode
+// factor extractions are independent by construction, so they run
+// concurrently — one task per mode, each itself using the parallel Gram
+// kernels — and the core recovery uses the parallel sparse TTM chain.
+// Every mode's factor is computed exactly as in the serial loop, so the
+// decomposition is bit-identical for any worker count.
+func HOSVDWorkers(x *tensor.Sparse, ranks []int, workers int) Decomposition {
 	ranks = ClipRanks(x.Shape, ranks)
 	order := x.Order()
 	factors := make([]*mat.Matrix, order)
+	tasks := make([]func(), order)
 	for n := 0; n < order; n++ {
-		factors[n] = tensor.LeadingModeVectors(x, n, ranks[n])
+		n := n
+		tasks[n] = func() {
+			factors[n] = tensor.LeadingModeVectorsWorkers(x, n, ranks[n], workers)
+		}
 	}
-	core := tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+	parallel.Do(workers, tasks...)
+	core := tensor.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), workers)
 	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
 }
 
 // HOSVDDense decomposes a dense tensor with the given per-mode target
-// ranks.
-func HOSVDDense(x *tensor.Dense, ranks []int) Decomposition {
+// ranks. It runs on the package-default worker pool; see
+// HOSVDDenseWorkers.
+func HOSVDDense(x *tensor.Dense, ranks []int) Decomposition { return HOSVDDenseWorkers(x, ranks, 0) }
+
+// HOSVDDenseWorkers is HOSVDDense on an explicit worker count, with the
+// independent per-mode factor extractions running concurrently.
+func HOSVDDenseWorkers(x *tensor.Dense, ranks []int, workers int) Decomposition {
 	ranks = ClipRanks(x.Shape, ranks)
 	order := x.Shape.Order()
 	factors := make([]*mat.Matrix, order)
+	tasks := make([]func(), order)
 	for n := 0; n < order; n++ {
-		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDense(x, n), ranks[n])
+		n := n
+		tasks[n] = func() {
+			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(x, n, workers), ranks[n])
+		}
 	}
-	core := tensor.MultiTTM(x, tensor.TransposeAll(factors))
+	parallel.Do(workers, tasks...)
+	core := tensor.MultiTTMWorkers(x, tensor.TransposeAll(factors), workers)
 	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
 }
 
@@ -93,7 +119,13 @@ func (d Decomposition) RelativeError(ref *tensor.Dense) float64 {
 
 // CoreFromFactors recovers a core tensor for externally supplied factor
 // matrices: G = X ×₁ U(1)ᵀ …. M2TD uses this to project the join tensor
-// through fused factor matrices.
+// through fused factor matrices. It runs on the package-default worker
+// pool; see CoreFromFactorsWorkers.
 func CoreFromFactors(x *tensor.Sparse, factors []*mat.Matrix) *tensor.Dense {
-	return tensor.MultiTTMSparse(x, tensor.TransposeAll(factors))
+	return CoreFromFactorsWorkers(x, factors, 0)
+}
+
+// CoreFromFactorsWorkers is CoreFromFactors on an explicit worker count.
+func CoreFromFactorsWorkers(x *tensor.Sparse, factors []*mat.Matrix, workers int) *tensor.Dense {
+	return tensor.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), workers)
 }

@@ -74,6 +74,14 @@ type Config struct {
 	// Workers > 0 runs the distributed 3-phase D-M2TD with that many
 	// workers instead of the serial algorithm.
 	Workers int
+	// Parallel is the shared-memory worker-pool size for the decomposition
+	// hot path (sparse TTM, Gram accumulation, the HOSVD mode loop, and
+	// the concurrent X₁/X₂ sub-decompositions). 0 uses all CPUs
+	// (runtime.GOMAXPROCS); 1 forces serial execution. Unlike Workers —
+	// which simulates D-M2TD's distributed 3-phase algorithm — Parallel
+	// only changes how the same serial algorithm is scheduled on cores:
+	// results are bit-identical for any Parallel value.
+	Parallel int
 	// SkipAccuracy skips ground-truth construction (which simulates the
 	// entire parameter space) and leaves Report.Accuracy as NaN.
 	SkipAccuracy bool
@@ -211,7 +219,7 @@ func Run(cfg Config) (*Report, error) {
 	simTime := time.Since(simStart)
 
 	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
-	opts := core.Options{Method: method, Ranks: ranks, ZeroJoin: cfg.ZeroJoin}
+	opts := core.Options{Method: method, Ranks: ranks, ZeroJoin: cfg.ZeroJoin, Workers: cfg.Parallel}
 	var res *core.Result
 	switch {
 	case cfg.Workers > 0 && cfg.Factored:
@@ -292,7 +300,7 @@ func Baseline(cfg Config, scheme string, budget int) (*Report, error) {
 
 	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
 	start := time.Now()
-	dec := tucker.HOSVD(se.Tensor, ranks)
+	dec := tucker.HOSVDWorkers(se.Tensor, ranks, cfg.Parallel)
 	decompTime := time.Since(start)
 
 	report := &Report{
