@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz-smoke ci clean
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke ci clean
 
 all: build
 
@@ -24,6 +24,13 @@ race:
 # Full benchmark run (slow; honours M2TD_BENCH_RES).
 bench:
 	$(GO) test -run=NONE -bench=. ./...
+
+# Machine-readable kernel benchmark summary (BENCH_2.json): TTM, ModeGram,
+# workspace chains, HOSVD/HOOI, and stitching, with ns/op and allocs/op.
+# CI uploads the file as a build artifact; the checked-in copy is a
+# snapshot at M2TD_BENCH_RES=16.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_2.json
 
 # One iteration of every benchmark — keeps benchmark code compiling and
 # running without measuring anything.

@@ -1,0 +1,87 @@
+// Command benchjson runs the kernel-level benchmark suite and emits a
+// machine-readable JSON summary (benchmark name → ns/op plus, where the
+// benchmark reports allocations, allocs/op and B/op). CI uploads the file
+// as a build artifact so kernel performance can be tracked across
+// commits; the checked-in BENCH_2.json is one such snapshot taken at
+// M2TD_BENCH_RES=16.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_2.json] [-bench <regex>] [-benchtime 1x] [-pkgs ./...]
+//
+// The benchmarks run in a `go test` subprocess so they execute exactly as
+// `make bench` runs them; this command only parses the standard benchmark
+// output lines, e.g.
+//
+//	BenchmarkTTMSparse-8   1694   761343 ns/op   31352 B/op   9 allocs/op
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+
+	"repro/internal/benchjson"
+)
+
+// defaultBench selects the kernel benchmarks worth tracking: TTM and
+// ModeGram variants, HOSVD/HOOI, workspace chains, and stitching.
+const defaultBench = "BenchmarkTTM|BenchmarkModeGram|BenchmarkWorkspace|BenchmarkHOSVD|BenchmarkHOOI|BenchmarkParallelHOSVD|BenchmarkParallelTTM|BenchmarkStitching"
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_2.json", "output JSON path")
+		bench     = flag.String("bench", defaultBench, "benchmark selection regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "benchtime passed to go test (empty = default)")
+		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run=NONE", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkgs)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	fmt.Fprintf(os.Stderr, "benchjson: go %v\n", args)
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	results := benchjson.Parse(buf.String())
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]benchjson.Result, len(results))
+	for _, name := range names {
+		ordered[name] = results[name]
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}

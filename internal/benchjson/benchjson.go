@@ -1,0 +1,93 @@
+// Package benchjson parses standard `go test -bench` output into a
+// machine-readable form for the BENCH_*.json CI artifacts.
+package benchjson
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. AllocsPerOp and BytesPerOp are
+// pointers because benchmarks that don't call ReportAllocs (and aren't run
+// with -benchmem) don't report them; nil means "not measured" and the
+// fields are omitted from the JSON.
+type Result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	Iterations  int64    `json:"iterations"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+}
+
+// Parse extracts every benchmark result line from `go test -bench` output.
+// Lines look like
+//
+//	BenchmarkTTMSparse-8   1694   761343 ns/op   31352 B/op   9 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so names are stable across
+// machines. Non-benchmark lines (pkg headers, PASS/ok, sub-benchmark
+// warnings) are ignored. When the same name appears more than once (e.g.
+// the same benchmark in two packages after suffix stripping, or -count>1)
+// the last occurrence wins.
+func Parse(output string) map[string]Result {
+	results := make(map[string]Result)
+	for _, line := range strings.Split(output, "\n") {
+		name, r, ok := parseLine(line)
+		if ok {
+			results[name] = r
+		}
+	}
+	return results
+}
+
+// parseLine parses a single benchmark output line.
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := stripProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r := Result{Iterations: iters}
+	// The remaining fields come in (value, unit) pairs.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", Result{}, false
+			}
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.BytesPerOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = &v
+			}
+		}
+	}
+	if !seenNs {
+		return "", Result{}, false
+	}
+	return name, r, true
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix from a benchmark
+// name, taking care not to eat a -N that is part of a sub-benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,73 @@
+package benchjson
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/tensor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkModeGramSparse-8    	      31	  37907166 ns/op	  483501 B/op	      68 allocs/op
+BenchmarkTTMSparse-8         	    1694	    761343 ns/op	   31352 B/op	       9 allocs/op
+BenchmarkWorkspaceTTMChain-8 	    5127	    234365 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelHOSVD/workers=1-8 	       1	1165547843 ns/op
+BenchmarkNoNs-8                        12     77 somethingelse/op
+PASS
+ok  	repro/internal/tensor	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got := Parse(sample)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %v", len(got), got)
+	}
+	r, ok := got["BenchmarkTTMSparse"]
+	if !ok {
+		t.Fatal("BenchmarkTTMSparse missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if r.NsPerOp != 761343 || r.Iterations != 1694 {
+		t.Fatalf("TTMSparse = %+v", r)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 9 {
+		t.Fatalf("TTMSparse allocs = %v", r.AllocsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 31352 {
+		t.Fatalf("TTMSparse bytes = %v", r.BytesPerOp)
+	}
+
+	// Zero allocations must be reported as explicit zeros, not omitted.
+	ws := got["BenchmarkWorkspaceTTMChain"]
+	if ws.AllocsPerOp == nil || *ws.AllocsPerOp != 0 {
+		t.Fatalf("WorkspaceTTMChain allocs = %v, want explicit 0", ws.AllocsPerOp)
+	}
+
+	// Sub-benchmark names keep their /workers=N segment; only the trailing
+	// -GOMAXPROCS is stripped, and missing -benchmem fields stay nil.
+	h, ok := got["BenchmarkParallelHOSVD/workers=1"]
+	if !ok {
+		t.Fatalf("sub-benchmark name mangled: %v", got)
+	}
+	if h.NsPerOp != 1165547843 || h.AllocsPerOp != nil || h.BytesPerOp != nil {
+		t.Fatalf("ParallelHOSVD = %+v", h)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	got := Parse("PASS\nok repro 1s\nBenchmarkBad notanint 5 ns/op\n--- BENCH: BenchmarkX\n")
+	if len(got) != 0 {
+		t.Fatalf("parsed noise as results: %v", got)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":           "BenchmarkFoo",
+		"BenchmarkFoo":             "BenchmarkFoo",
+		"BenchmarkFoo/workers=4-8": "BenchmarkFoo/workers=4",
+		"BenchmarkFoo-bar":         "BenchmarkFoo-bar",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

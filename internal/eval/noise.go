@@ -30,6 +30,9 @@ func AddNoise(sp *tensor.Sparse, frac float64, rng *rand.Rand) {
 	for i := range sp.Vals {
 		sp.Vals[i] += sigma * rng.NormFloat64()
 	}
+	// Vals were mutated directly: drop any compiled kernel plans so the
+	// next ModeGram/TTM recompiles against the perturbed values.
+	sp.InvalidatePlans()
 }
 
 // NoiseRow is one noise level of the robustness sweep.

@@ -288,10 +288,12 @@ func (st *subState) remove(idx []int) error {
 		g.Set(row, row, g.At(row, row)-v*v)
 	}
 
-	// Remove the COO entry.
+	// Remove the COO entry. Idx/Vals are mutated directly, so compiled
+	// kernel plans must be dropped explicitly.
 	copy(st.tensor.Idx[pos*order:], st.tensor.Idx[(pos+1)*order:])
 	st.tensor.Idx = st.tensor.Idx[:len(st.tensor.Idx)-order]
 	copy(st.tensor.Vals[pos:], st.tensor.Vals[pos+1:])
 	st.tensor.Vals = st.tensor.Vals[:len(st.tensor.Vals)-1]
+	st.tensor.InvalidatePlans()
 	return nil
 }

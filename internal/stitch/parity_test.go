@@ -1,0 +1,113 @@
+package stitch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dynsys"
+	"repro/internal/ensemble"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// paramPivotResult partitions with a parameter-mode pivot (φ1) instead of
+// the timestamp default.
+func paramPivotResult(t *testing.T, seed int64) *partition.Result {
+	t.Helper()
+	space := ensemble.NewSpace(dynsys.NewDoublePendulum(), 4, 3)
+	cfg := partition.DefaultConfig(5, 0, doublePendulumPairs)
+	cfg.FreeFrac = 0.5
+	res, err := partition.Generate(space, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// bitsEqualSparse asserts identical COO storage: entry order, indices, and
+// values, bit for bit.
+func bitsEqualSparse(t *testing.T, name string, a, b *tensor.Sparse) {
+	t.Helper()
+	if !a.Shape.Equal(b.Shape) {
+		t.Fatalf("%s: shape %v vs %v", name, a.Shape, b.Shape)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("%s: NNZ %d vs %d", name, a.NNZ(), b.NNZ())
+	}
+	for i, v := range a.Idx {
+		if v != b.Idx[i] {
+			t.Fatalf("%s: Idx[%d] = %d vs %d (entry order differs)", name, i, v, b.Idx[i])
+		}
+	}
+	for i, v := range a.Vals {
+		if v != b.Vals[i] {
+			t.Fatalf("%s: Vals[%d] = %v vs %v (not bit-identical)", name, i, v, b.Vals[i])
+		}
+	}
+}
+
+// TestSortMergeJoinParity checks that the sort-merge Join emits COO
+// storage identical to the retained hash-join reference across randomized
+// ensembles of varying density.
+func TestSortMergeJoinParity(t *testing.T) {
+	for _, freeFrac := range []float64{0.15, 0.25, 0.5, 0.75, 1} {
+		for seed := int64(200); seed < 205; seed++ {
+			res := tinyResult(t, freeFrac, seed)
+			bitsEqualSparse(t, "Join", Join(res), stitchHashJoin(res, false))
+		}
+	}
+}
+
+// TestSortMergeZeroJoinParity does the same for ZeroJoin, whose emission
+// order additionally interleaves zero-join extensions and a sub-2-only
+// tail pass.
+func TestSortMergeZeroJoinParity(t *testing.T) {
+	for _, freeFrac := range []float64{0.15, 0.25, 0.5, 1} {
+		for seed := int64(300); seed < 305; seed++ {
+			res := tinyResult(t, freeFrac, seed)
+			bitsEqualSparse(t, "ZeroJoin", ZeroJoin(res), stitchHashJoin(res, true))
+		}
+	}
+}
+
+// TestSortMergeParityParameterPivot covers the parameter-mode pivot
+// layout, where the free modes are split differently than the
+// timestamp-pivot default.
+func TestSortMergeParityParameterPivot(t *testing.T) {
+	res := paramPivotResult(t, 101)
+	bitsEqualSparse(t, "Join/param-pivot", Join(res), stitchHashJoin(res, false))
+	bitsEqualSparse(t, "ZeroJoin/param-pivot", ZeroJoin(res), stitchHashJoin(res, true))
+}
+
+func TestLocalKeyPacksThreeModes(t *testing.T) {
+	// Three modes at the radix boundary must pack without panicking and
+	// remain distinct.
+	a := localKey([]int{localRadix - 1, 0, 1})
+	b := localKey([]int{localRadix - 1, 0, 2})
+	if a == b {
+		t.Fatal("distinct free configurations collided")
+	}
+	if got := localKey(nil); got != 0 {
+		t.Fatalf("empty free index key = %d, want 0", got)
+	}
+}
+
+func TestLocalKeyRejectsFourModes(t *testing.T) {
+	// Four modes at radix 2^20 exceed 63 bits; localKey must refuse loudly
+	// rather than wrap and silently corrupt zero-join membership tests.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("localKey accepted 4 free modes; silent key collisions possible")
+		}
+	}()
+	localKey([]int{1, 2, 3, 4})
+}
+
+func TestLocalKeyRejectsOversizedIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("localKey accepted an index >= radix")
+		}
+	}()
+	localKey([]int{localRadix})
+}

@@ -14,6 +14,19 @@
 //     side, contributing x/2 cells. When sub-ensemble densities are low
 //     this boosts the effective density to roughly 2·P·E·F (F = full free
 //     grid size per side) and, per Table V, the resulting accuracy.
+//
+// The join is a SORT-MERGE join: each sub-ensemble's entries are
+// stable-sorted by pivot key once (storage order preserved within a pivot
+// group), and the two sorted group lists are merged with two pointers. No
+// hash map of pivot groups is built and no per-entry free-coordinate
+// slices are copied — free coordinates are read straight out of the
+// sub-tensors' COO storage. The emission order is identical to the
+// original hash-join implementation (pivot keys ascending; entries in
+// storage order within a group; zero-join extensions after the matched
+// pairs of each group; sub-2-only pivot groups last), so the join tensor's
+// entry layout — and therefore every downstream floating-point
+// accumulation order — is unchanged bit for bit (see the parity tests
+// against the retained reference implementation).
 package stitch
 
 import (
@@ -33,31 +46,57 @@ func pivotKey(shape tensor.Shape, idx []int, k int) int {
 	return key
 }
 
-// subEntry is one sub-ensemble cell split into pivot part and free part.
-type subEntry struct {
-	free []int
-	val  float64
+// subIndex is a sub-ensemble's entries stable-sorted by pivot key and
+// split into pivot groups. perm[bounds[g]:bounds[g+1]] are the storage
+// indices of group g's entries, in storage order; keys[g] is its pivot
+// key. Nothing is copied out of the sub-tensor.
+type subIndex struct {
+	t      *tensor.Sparse
+	k      int   // number of leading pivot modes
+	perm   []int // entry ids, stable-sorted by pivot key
+	bounds []int // group boundaries into perm (len == len(keys)+1)
+	keys   []int // ascending pivot key per group
 }
 
-// index groups a sub-ensemble's cells by pivot configuration.
-func index(sub *partition.SubEnsemble) map[int][]subEntry {
+// buildIndex compiles the sort-merge index for one sub-ensemble.
+func buildIndex(sub *partition.SubEnsemble) subIndex {
+	t := sub.Tensor
 	k := sub.NumPivots
-	out := make(map[int][]subEntry)
-	sub.Tensor.Each(func(idx []int, v float64) {
-		key := pivotKey(sub.Tensor.Shape, idx, k)
-		out[key] = append(out[key], subEntry{free: append([]int(nil), idx[k:]...), val: v})
-	})
-	return out
+	o := t.Order()
+	n := t.NNZ()
+	entryKeys := make([]int, n)
+	for e := 0; e < n; e++ {
+		entryKeys[e] = pivotKey(t.Shape, t.Idx[e*o:(e+1)*o], k)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Stable: entries within one pivot group keep their storage order,
+	// which is what makes the merge emission identical to the hash-join's.
+	sort.SliceStable(perm, func(a, b int) bool { return entryKeys[perm[a]] < entryKeys[perm[b]] })
+
+	bounds := make([]int, 0, 16)
+	keys := make([]int, 0, 16)
+	for start := 0; start < n; {
+		bounds = append(bounds, start)
+		keys = append(keys, entryKeys[perm[start]])
+		end := start + 1
+		for end < n && entryKeys[perm[end]] == entryKeys[perm[start]] {
+			end++
+		}
+		start = end
+	}
+	bounds = append(bounds, n)
+	return subIndex{t: t, k: k, perm: perm, bounds: bounds, keys: keys}
 }
 
-// pivotIdxFromKey inverts pivotKey into the pivot coordinates.
-func pivotIdxFromKey(shape tensor.Shape, key, k int) []int {
-	idx := make([]int, k)
-	for i := k - 1; i >= 0; i-- {
-		idx[i] = key % shape[i]
-		key /= shape[i]
-	}
-	return idx
+// entry returns the full multi-index (aliasing sub-tensor storage; do not
+// mutate) and value of the entry at sorted position p.
+func (si *subIndex) entry(p int) ([]int, float64) {
+	e := si.perm[p]
+	o := si.t.Order()
+	return si.t.Idx[e*o : (e+1)*o], si.t.Vals[e]
 }
 
 // Join constructs the join tensor J in the original mode order by
@@ -80,15 +119,22 @@ func stitch(res *partition.Result, zero bool) *tensor.Sparse {
 	k := len(cfg.Pivots)
 	j := tensor.NewSparse(space.Shape())
 
-	idx1 := index(res.Sub1)
-	idx2 := index(res.Sub2)
+	idx1 := buildIndex(res.Sub1)
+	idx2 := buildIndex(res.Sub2)
 
-	// Preallocate the COO arrays: the matched-pair count is known exactly,
-	// which avoids repeated growth of multi-megabyte slices at high
-	// densities (zero-join extensions still append beyond this).
+	// Preallocate the COO arrays: the matched-pair count is known exactly
+	// from one merge pass over the group lists, which avoids repeated
+	// growth of multi-megabyte slices at high densities (zero-join
+	// extensions still append beyond this).
 	matched := 0
-	for key, entries1 := range idx1 {
-		matched += len(entries1) * len(idx2[key])
+	for g1, p2 := 0, 0; g1 < len(idx1.keys); g1++ {
+		key := idx1.keys[g1]
+		for p2 < len(idx2.keys) && idx2.keys[p2] < key {
+			p2++
+		}
+		if p2 < len(idx2.keys) && idx2.keys[p2] == key {
+			matched += (idx1.bounds[g1+1] - idx1.bounds[g1]) * (idx2.bounds[p2+1] - idx2.bounds[p2])
+		}
 	}
 	j.Idx = make([]int, 0, matched*space.Order())
 	j.Vals = make([]float64, 0, matched)
@@ -111,19 +157,44 @@ func stitch(res *partition.Result, zero bool) *tensor.Sparse {
 		j.Append(full, v)
 	}
 
-	// Iterate pivot groups in sorted order so the join tensor's entry
-	// layout (and therefore floating-point accumulation order downstream)
-	// is deterministic.
-	keys1 := sortedKeys(idx1)
-	shape1 := res.Sub1.Tensor.Shape
-	for _, key := range keys1 {
-		entries1 := idx1[key]
-		entries2 := idx2[key]
-		pivotIdx := pivotIdxFromKey(shape1, key, k)
+	// Reusable sampled-free-key scratch for the zero-join membership
+	// tests (sorted slice + binary search instead of a per-group map).
+	var sampled []int
+	collectSampled := func(si *subIndex, s, e int) []int {
+		sampled = sampled[:0]
+		for p := s; p < e; p++ {
+			idx, _ := si.entry(p)
+			sampled = append(sampled, localKey(idx[si.k:]))
+		}
+		sort.Ints(sampled)
+		return sampled
+	}
+	isSampled := func(keys []int, key int) bool {
+		i := sort.SearchInts(keys, key)
+		return i < len(keys) && keys[i] == key
+	}
+
+	// Pass 1: every pivot group of sub-ensemble 1, keys ascending, merged
+	// two-pointer against sub-ensemble 2's group list.
+	p2 := 0
+	for g1 := 0; g1 < len(idx1.keys); g1++ {
+		key := idx1.keys[g1]
+		s1, e1 := idx1.bounds[g1], idx1.bounds[g1+1]
+		for p2 < len(idx2.keys) && idx2.keys[p2] < key {
+			p2++
+		}
+		var s2, e2 int
+		if p2 < len(idx2.keys) && idx2.keys[p2] == key {
+			s2, e2 = idx2.bounds[p2], idx2.bounds[p2+1]
+		}
+		pivotIdx, _ := idx1.entry(s1)
+		pivotIdx = pivotIdx[:k]
 		// Matched pairs: the average of the two simulation results.
-		for _, e1 := range entries1 {
-			for _, e2 := range entries2 {
-				emit(pivotIdx, e1.free, e2.free, (e1.val+e2.val)/2)
+		for q1 := s1; q1 < e1; q1++ {
+			i1, v1 := idx1.entry(q1)
+			for q2 := s2; q2 < e2; q2++ {
+				i2, v2 := idx2.entry(q2)
+				emit(pivotIdx, i1[k:], i2[k:], (v1+v2)/2)
 			}
 		}
 		if !zero {
@@ -131,38 +202,46 @@ func stitch(res *partition.Result, zero bool) *tensor.Sparse {
 		}
 		// Zero-join extensions: each existing cell joined against the
 		// other side's unsampled free configurations with value 0.
-		sampled2 := freeSet(entries2)
+		sampled2 := collectSampled(&idx2, s2, e2)
 		eachFreeConfig(space, cfg.Free2, func(f2 []int) {
-			if sampled2[localKey(f2)] {
+			if isSampled(sampled2, localKey(f2)) {
 				return
 			}
-			for _, e1 := range entries1 {
-				emit(pivotIdx, e1.free, f2, e1.val/2)
+			for q1 := s1; q1 < e1; q1++ {
+				i1, v1 := idx1.entry(q1)
+				emit(pivotIdx, i1[k:], f2, v1/2)
 			}
 		})
-		sampled1 := freeSet(entries1)
+		sampled1 := collectSampled(&idx1, s1, e1)
 		eachFreeConfig(space, cfg.Free1, func(f1 []int) {
-			if sampled1[localKey(f1)] {
+			if isSampled(sampled1, localKey(f1)) {
 				return
 			}
-			for _, e2 := range entries2 {
-				emit(pivotIdx, f1, e2.free, e2.val/2)
+			for q2 := s2; q2 < e2; q2++ {
+				i2, v2 := idx2.entry(q2)
+				emit(pivotIdx, f1, i2[k:], v2/2)
 			}
 		})
 	}
-	// Pivot configurations sampled for sub-ensemble 2 only (possible in
-	// principle, though Generate always aligns them).
+	// Pass 2: pivot configurations sampled for sub-ensemble 2 only
+	// (possible in principle, though Generate always aligns them).
 	if zero {
-		shape2 := res.Sub2.Tensor.Shape
-		for _, key := range sortedKeys(idx2) {
-			if _, ok := idx1[key]; ok {
+		p1 := 0
+		for g2 := 0; g2 < len(idx2.keys); g2++ {
+			key := idx2.keys[g2]
+			for p1 < len(idx1.keys) && idx1.keys[p1] < key {
+				p1++
+			}
+			if p1 < len(idx1.keys) && idx1.keys[p1] == key {
 				continue
 			}
-			entries2 := idx2[key]
-			pivotIdx := pivotIdxFromKey(shape2, key, k)
+			s2, e2 := idx2.bounds[g2], idx2.bounds[g2+1]
+			pivotIdx, _ := idx2.entry(s2)
+			pivotIdx = pivotIdx[:k]
 			eachFreeConfig(space, cfg.Free1, func(f1 []int) {
-				for _, e2 := range entries2 {
-					emit(pivotIdx, f1, e2.free, e2.val/2)
+				for q2 := s2; q2 < e2; q2++ {
+					i2, v2 := idx2.entry(q2)
+					emit(pivotIdx, f1, i2[k:], v2/2)
 				}
 			})
 		}
@@ -170,30 +249,22 @@ func stitch(res *partition.Result, zero bool) *tensor.Sparse {
 	return j
 }
 
-// sortedKeys returns the map's keys in increasing order.
-func sortedKeys(m map[int][]subEntry) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	return keys
-}
-
-// freeSet returns the set of sampled free configurations.
-func freeSet(entries []subEntry) map[int]bool {
-	// Keys here only need to be unique within one pivot group; use a
-	// simple positional encoding with a large radix.
-	out := make(map[int]bool, len(entries))
-	for _, e := range entries {
-		out[localKey(e.free)] = true
-	}
-	return out
-}
-
 const localRadix = 1 << 20 // far above any mode size
 
+// maxLocalKeyModes bounds the positional radix packing: 3 modes × 20 bits
+// = 60 bits, the most that fits a 63-bit non-negative int. A fourth mode
+// would shift the leading coordinate past bit 63 and silently wrap,
+// producing key collisions and therefore wrong zero-join membership — so
+// localKey refuses loudly instead.
+const maxLocalKeyModes = 3
+
+// localKey packs free-mode coordinates into a single int key, unique
+// within one pivot group. Keys only need to be comparable within one
+// group, so a fixed large radix per mode suffices.
 func localKey(idx []int) int {
+	if len(idx) > maxLocalKeyModes {
+		panic(fmt.Sprintf("stitch: localKey cannot pack %d free modes at radix 2^20 (max %d before exceeding 63 bits); widen the radix packing before using this many free modes per side", len(idx), maxLocalKeyModes))
+	}
 	key := 0
 	for _, i := range idx {
 		if i >= localRadix {

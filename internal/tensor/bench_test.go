@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/mat"
@@ -75,6 +76,80 @@ func BenchmarkTuckerReconstruct(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		TuckerReconstruct(core, us)
 	}
+}
+
+// BenchmarkModeGramDenseWorkers is the regression benchmark for the
+// hoisted nonzero-fiber enumeration: before the fix every worker re-walked
+// the whole tensor (O(workers·total)), so higher worker counts got slower
+// per element; after it the enumeration runs once per call.
+func BenchmarkModeGramDenseWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	d := randomDense(rng, Shape{12, 12, 12, 12})
+	for i := 0; i < len(d.Data); i += 3 {
+		d.Data[i] = 0 // leave nonzero-fiber hoisting work to do
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ModeGramDenseWorkers(d, 0, w)
+			}
+		})
+	}
+}
+
+// BenchmarkModeGramPlanned measures the steady-state planned sparse Gram:
+// the per-mode plan is compiled on the first iteration and reused, so this
+// reports the pure accumulate cost (compare BenchmarkModeGramSparse, which
+// replans when the tensor changes between calls).
+func BenchmarkModeGramPlanned(b *testing.B) {
+	s := benchSparse5(b, 20000)
+	ModeGram(s, 0) // compile the plan outside the timing loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ModeGram(s, 0)
+	}
+}
+
+// BenchmarkWorkspaceTTMChain is the zero-allocation steady-state dense TTM
+// chain (the HOOI inner loop); allocs/op must report 0.
+func BenchmarkWorkspaceTTMChain(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	d := randomDense(rng, Shape{12, 12, 12, 12})
+	ms := make([]*mat.Matrix, 4)
+	for n := range ms {
+		ms[n] = mat.Transpose(mat.RandomOrthonormal(rng, 12, 4))
+	}
+	w := NewWorkspace()
+	w.MultiTTMWorkers(d, ms, 1) // warm the slots
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.MultiTTMWorkers(d, ms, 1)
+	}
+}
+
+// BenchmarkWorkspaceTTMSparseChain is the sparse-input analogue: one
+// planned sparse TTM followed by dense chain steps, all in reused buffers.
+func BenchmarkWorkspaceTTMSparseChain(b *testing.B) {
+	s := benchSparse5(b, 20000)
+	rng := rand.New(rand.NewSource(10))
+	ms := make([]*mat.Matrix, 5)
+	for n := range ms {
+		ms[n] = mat.Transpose(mat.RandomOrthonormal(rng, 12, 4))
+	}
+	w := NewWorkspace()
+	w.MultiTTMSparseWorkers(s, ms, 1) // warm slots + compile the plan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.MultiTTMSparseWorkers(s, ms, 1)
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + strconv.Itoa(v)
 }
 
 func BenchmarkSparseDedup(b *testing.B) {

@@ -1,8 +1,6 @@
 package tensor
 
 import (
-	"sort"
-
 	"repro/internal/mat"
 	"repro/internal/parallel"
 )
@@ -36,31 +34,42 @@ func MatricizeWorkers(d *Dense, n, workers int) *mat.Matrix {
 }
 
 // Fold inverts Matricize: it reshapes an I_n × Π_{k≠n} I_k matrix back into
-// a dense tensor with the given shape.
+// a dense tensor with the given shape. Columns are enumerated with an
+// odometer over the non-n modes (little-endian, first non-n mode fastest),
+// maintaining the output linear base incrementally — no per-column div/mod
+// chain and no per-element LinearIndex call.
 func Fold(m *mat.Matrix, n int, shape Shape) *Dense {
 	if m.Rows != shape[n] || m.Cols != shape.MatricizeCols(n) {
 		panic("tensor: Fold dimensions do not match shape")
 	}
 	out := NewDense(shape)
 	order := shape.Order()
-	idx := make([]int, order)
-	// Enumerate columns by iterating the non-n modes in the matricization's
-	// little-endian order (first non-n mode varies fastest).
+	strides := shape.Strides()
+	strideN := strides[n]
+	// Non-n modes in matricization order (first varies fastest), with
+	// their output strides.
 	modes := make([]int, 0, order-1)
 	for k := 0; k < order; k++ {
 		if k != n {
 			modes = append(modes, k)
 		}
 	}
+	counters := make([]int, len(modes))
+	base := 0
 	for col := 0; col < m.Cols; col++ {
-		c := col
-		for _, k := range modes {
-			idx[k] = c % shape[k]
-			c /= shape[k]
-		}
 		for r := 0; r < m.Rows; r++ {
-			idx[n] = r
-			out.Data[shape.LinearIndex(idx)] = m.At(r, col)
+			out.Data[base+r*strideN] = m.At(r, col)
+		}
+		// Advance the odometer and the linear base together.
+		for p := 0; p < len(modes); p++ {
+			k := modes[p]
+			counters[p]++
+			base += strides[k]
+			if counters[p] < shape[k] {
+				break
+			}
+			base -= counters[p] * strides[k]
+			counters[p] = 0
 		}
 	}
 	return out
@@ -72,72 +81,40 @@ func Fold(m *mat.Matrix, n int, shape Shape) *Dense {
 // package-default worker pool; see ModeGramWorkers.
 func ModeGram(s *Sparse, n int) *mat.Matrix { return ModeGramWorkers(s, n, 0) }
 
-// gramTriple is one sparse entry keyed by its matricization column.
-type gramTriple struct {
-	col int
-	row int
-	val float64
-}
-
 // ModeGramWorkers is ModeGram on an explicit worker count.
 //
-// Entries are bucketed by matricization column; within one column the
-// contribution to G is the outer product of the column's sparse rows. This
-// is the workhorse behind sparse HOSVD: left singular vectors of X(n) are
-// the leading eigenvectors of G.
+// The column layout comes from the tensor's compiled mode plan (see
+// ModePlan): entries sorted by matricization column with stable storage
+// order inside each group, built once per (tensor, mode) and reused by
+// every subsequent kernel call — one HOSVD no longer pays one O(nnz log
+// nnz) sort per mode per call, and HOOI sweeps pay none at all.
 //
-// Determinism: the column bucketing uses a STABLE sort, so entries within
-// a column group keep their storage order (an index-ordered walk rather
-// than a comparison-sort-dependent one), and the accumulation is
-// partitioned by OUTPUT Gram row — each worker scans the column groups in
-// ascending order and accumulates only the rows it owns, reproducing the
-// serial floating-point order exactly. Results are bit-identical for any
-// worker count.
+// Determinism: within one column group the contribution to G is the outer
+// product of the group's sparse rows; the accumulation is partitioned by
+// OUTPUT Gram row — each worker scans the column groups in ascending order
+// and accumulates only the rows it owns, reproducing the serial
+// floating-point order exactly. Results are bit-identical for any worker
+// count (and to the pre-plan implementation).
 func ModeGramWorkers(s *Sparse, n, workers int) *mat.Matrix {
 	rows := s.Shape[n]
 	g := mat.New(rows, rows)
-	nnz := s.NNZ()
-	if nnz == 0 {
+	if s.NNZ() == 0 {
 		return g
 	}
-	o := s.Order()
-
-	// Collect (column, row, value) triples in storage order (parallel:
-	// disjoint assignment per entry range).
-	ts := make([]gramTriple, nnz)
-	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
-		for e := lo; e < hi; e++ {
-			idx := s.Idx[e*o : (e+1)*o]
-			ts[e] = gramTriple{col: s.Shape.MatricizeColumn(n, idx), row: idx[n], val: s.Vals[e]}
-		}
-	})
-	sort.SliceStable(ts, func(a, b int) bool { return ts[a].col < ts[b].col })
-
-	// Column-group boundaries: bounds[i] .. bounds[i+1] is one group.
-	bounds := make([]int, 0, 64)
-	for start := 0; start < nnz; {
-		bounds = append(bounds, start)
-		end := start + 1
-		for end < nnz && ts[end].col == ts[start].col {
-			end++
-		}
-		start = end
-	}
-	bounds = append(bounds, nnz)
-
-	// Accumulate the symmetric outer products, partitioned by Gram row.
+	p := s.PlanMode(n, workers)
+	bounds, prow, pval := p.Bounds, p.Rows, p.Vals
 	parallel.For(rows, workers, func(r0, r1 int) {
 		for gi := 0; gi+1 < len(bounds); gi++ {
 			start, end := bounds[gi], bounds[gi+1]
 			for a := start; a < end; a++ {
-				ra := ts[a].row
+				ra := prow[a]
 				if ra < r0 || ra >= r1 {
 					continue
 				}
 				ga := g.Row(ra)
-				va := ts[a].val
+				va := pval[a]
 				for b := start; b < end; b++ {
-					ga[ts[b].row] += va * ts[b].val
+					ga[prow[b]] += va * pval[b]
 				}
 			}
 		}
@@ -150,38 +127,82 @@ func ModeGramWorkers(s *Sparse, n, workers int) *mat.Matrix {
 // It runs on the package-default worker pool; see ModeGramDenseWorkers.
 func ModeGramDense(d *Dense, n int) *mat.Matrix { return ModeGramDenseWorkers(d, n, 0) }
 
-// ModeGramDenseWorkers is ModeGramDense on an explicit worker count. The
-// accumulation is partitioned by OUTPUT Gram row: every worker walks the
-// fibers in linear order with a private fiber buffer and accumulates only
-// the rows it owns, reproducing the serial floating-point order exactly —
-// bit-identical results for any worker count.
+// ModeGramDenseWorkers is ModeGramDense on an explicit worker count.
+//
+// Fibers are enumerated by stride walking: a mode-n fiber base is
+// base(f) = (f/inner)·inner·I_n + f%inner with inner = Π_{k>n} I_k, so the
+// enumeration needs no MultiIndex decode and visits no non-base element.
+// The all-zero-fiber scan is hoisted out of the per-worker loop: one
+// shared pass marks nonzero fibers (write-disjoint), the base list is
+// assembled once in ascending order, and each worker then accumulates only
+// its slab of OUTPUT Gram rows over that shared list — the per-worker cost
+// drops from O(total) decodes to O(#nonzero-fibers · I_n) reads.
+//
+// Per-cell accumulation visits nonzero fibers in ascending base order,
+// exactly the serial (and pre-stride-walk) floating-point order — results
+// are bit-identical for any worker count.
 func ModeGramDenseWorkers(d *Dense, n, workers int) *mat.Matrix {
 	rows := d.Shape[n]
 	g := mat.New(rows, rows)
 	shape := d.Shape
-	strides := shape.Strides()
-	stride := strides[n]
 	total := shape.NumElements()
-	// Iterate over all "columns" (fixed values of the other modes): for each
-	// we have a length-I_n fiber spaced by stride.
-	parallel.For(rows, workers, func(r0, r1 int) {
-		fiber := make([]float64, rows)
-		idx := make([]int, shape.Order())
-		for lin := 0; lin < total; lin++ {
-			shape.MultiIndex(lin, idx)
-			if idx[n] != 0 {
-				continue // visit each fiber once, at its idx[n]==0 element
-			}
-			base := lin
+	if total == 0 || rows == 0 {
+		return g
+	}
+	inner := 1
+	for k := n + 1; k < shape.Order(); k++ {
+		inner *= shape[k]
+	}
+	numFibers := total / rows
+
+	// Hoisted phase: mark nonzero fibers once (disjoint writes).
+	nzMark := make([]bool, numFibers)
+	parallel.ForGrain(numFibers, workers, 256, func(lo, hi int) {
+		q, r := lo/inner, lo%inner
+		base := q*inner*rows + r
+		for f := lo; f < hi; f++ {
 			zero := true
-			for r := 0; r < rows; r++ {
-				fiber[r] = d.Data[base+r*stride]
-				if fiber[r] != 0 {
+			for i := 0; i < rows; i++ {
+				if d.Data[base+i*inner] != 0 {
 					zero = false
+					break
 				}
 			}
-			if zero {
-				continue
+			nzMark[f] = !zero
+			r++
+			base++
+			if r == inner {
+				r = 0
+				base += inner * (rows - 1)
+			}
+		}
+	})
+	bases := make([]int, 0, numFibers)
+	{
+		base, r := 0, 0
+		for f := 0; f < numFibers; f++ {
+			if nzMark[f] {
+				bases = append(bases, base)
+			}
+			r++
+			base++
+			if r == inner {
+				r = 0
+				base += inner * (rows - 1)
+			}
+		}
+	}
+	if len(bases) == 0 {
+		return g
+	}
+
+	// Accumulation phase: partition by output Gram row over the shared
+	// nonzero-fiber list.
+	parallel.For(rows, workers, func(r0, r1 int) {
+		fiber := make([]float64, rows)
+		for _, base := range bases {
+			for i := 0; i < rows; i++ {
+				fiber[i] = d.Data[base+i*inner]
 			}
 			for a := r0; a < r1; a++ {
 				if fiber[a] == 0 {

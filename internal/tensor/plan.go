@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// ModePlan is a compiled kernel plan for one mode of a sparse tensor: the
+// stored entries laid out in ascending mode-n matricization-column order
+// (ties broken by storage order — a stable sort), split into column
+// groups. Computing this layout is the per-call setup cost every sparse
+// mode kernel used to pay (an O(nnz log nnz) sort per mode per call);
+// compiling it once per (tensor, mode) and caching it on the tensor
+// amortises that cost across all HOSVD modes and every HOOI sweep.
+//
+// The plan is consumed by ModeGramWorkers (column groups are the outer
+// products of the Gram accumulation), TTMSparseWorkers (column groups are
+// write-disjoint output cells, so workers partition groups instead of
+// re-scanning every entry per output slab), and, through those, by
+// LeadingModeVectors, HOSVD, ST-HOSVD and HOOI.
+//
+// A plan is immutable once built. It aliases no tensor storage: Rows and
+// Vals are copies in plan order, so kernels touch two flat arrays with
+// perfect locality instead of strided multi-index decodes.
+type ModePlan struct {
+	// Mode is the mode this plan was compiled for.
+	Mode int
+	// Ents holds, for each plan position, the storage index of the entry
+	// (the stable sort permutation). Kernels use it to recover an entry's
+	// full multi-index from the tensor when needed.
+	Ents []int
+	// Rows holds each entry's mode-n coordinate in plan order.
+	Rows []int
+	// Vals holds each entry's value in plan order.
+	Vals []float64
+	// Bounds delimits column groups: positions Bounds[g] up to Bounds[g+1]
+	// share one matricization column (equivalently: one configuration of
+	// all non-n modes). len(Bounds) == NumGroups()+1.
+	Bounds []int
+}
+
+// NumGroups returns the number of distinct matricization columns.
+func (p *ModePlan) NumGroups() int { return len(p.Bounds) - 1 }
+
+// planEntry is one lazily-built per-mode plan slot.
+type planEntry struct {
+	once sync.Once
+	plan *ModePlan
+}
+
+// planCache holds the per-mode plan slots for one tensor generation.
+type planCache struct {
+	gen   uint64
+	modes []*planEntry
+}
+
+// InvalidatePlans discards all cached mode plans by bumping the tensor's
+// mutation generation. The mutating methods (Append, Dedup, SortByMode)
+// call it automatically; code that mutates Idx or Vals directly must call
+// it before the next kernel invocation, or kernels will keep serving the
+// stale compiled layout.
+func (s *Sparse) InvalidatePlans() { s.gen++ }
+
+// PlanMode returns the compiled kernel plan for mode n, building and
+// caching it on first use. Subsequent calls (from any kernel, any worker
+// count) return the cached plan until the tensor is mutated. It is safe
+// for concurrent use: plans for different modes build in parallel, and
+// concurrent requests for the same mode block on a single build.
+func (s *Sparse) PlanMode(n, workers int) *ModePlan {
+	if n < 0 || n >= s.Order() {
+		panic(fmt.Sprintf("tensor: PlanMode mode %d out of range for order %d", n, s.Order()))
+	}
+	s.planMu.Lock()
+	if s.plans == nil || s.plans.gen != s.gen {
+		s.plans = &planCache{gen: s.gen, modes: make([]*planEntry, s.Order())}
+	}
+	e := s.plans.modes[n]
+	if e == nil {
+		e = &planEntry{}
+		s.plans.modes[n] = e
+	}
+	s.planMu.Unlock()
+	e.once.Do(func() { e.plan = compileModePlan(s, n, workers) })
+	return e.plan
+}
+
+// compileModePlan builds the sorted triple layout and group bounds for one
+// mode. The column keys are computed in parallel (disjoint entry ranges);
+// the stable sort keeps storage order within a column group, which is what
+// preserves the serial floating-point accumulation order in every consumer.
+func compileModePlan(s *Sparse, n, workers int) *ModePlan {
+	nnz := s.NNZ()
+	p := &ModePlan{Mode: n}
+	if nnz == 0 {
+		p.Bounds = []int{0}
+		return p
+	}
+	o := s.Order()
+	cols := make([]int, nnz)
+	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			cols[e] = s.Shape.MatricizeColumn(n, s.Idx[e*o:(e+1)*o])
+		}
+	})
+	perm := make([]int, nnz)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return cols[perm[a]] < cols[perm[b]] })
+
+	p.Ents = perm
+	p.Rows = make([]int, nnz)
+	p.Vals = make([]float64, nnz)
+	for i, e := range perm {
+		p.Rows[i] = s.Idx[e*o+n]
+		p.Vals[i] = s.Vals[e]
+	}
+	bounds := make([]int, 0, 64)
+	for start := 0; start < nnz; {
+		bounds = append(bounds, start)
+		end := start + 1
+		for end < nnz && cols[perm[end]] == cols[perm[start]] {
+			end++
+		}
+		start = end
+	}
+	p.Bounds = append(bounds, nnz)
+	return p
+}

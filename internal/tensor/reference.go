@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// This file retains the pre-plan / pre-stride-walk kernel implementations
+// verbatim (renamed with a Ref suffix). They are the executable
+// specification the optimised kernels are held to: the parity suites in
+// plan_test.go assert bit-identical output against them for workers ∈
+// {1, N}. They are referenced only by tests and must not be used in
+// pipelines.
+
+// gramTripleRef is one sparse entry keyed by its matricization column.
+type gramTripleRef struct {
+	col int
+	row int
+	val float64
+}
+
+// modeGramWorkersRef is the previous ModeGramWorkers: it re-collects and
+// re-sorts the (col,row,val) triples on every call.
+func modeGramWorkersRef(s *Sparse, n, workers int) *mat.Matrix {
+	rows := s.Shape[n]
+	g := mat.New(rows, rows)
+	nnz := s.NNZ()
+	if nnz == 0 {
+		return g
+	}
+	o := s.Order()
+
+	ts := make([]gramTripleRef, nnz)
+	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			idx := s.Idx[e*o : (e+1)*o]
+			ts[e] = gramTripleRef{col: s.Shape.MatricizeColumn(n, idx), row: idx[n], val: s.Vals[e]}
+		}
+	})
+	sort.SliceStable(ts, func(a, b int) bool { return ts[a].col < ts[b].col })
+
+	bounds := make([]int, 0, 64)
+	for start := 0; start < nnz; {
+		bounds = append(bounds, start)
+		end := start + 1
+		for end < nnz && ts[end].col == ts[start].col {
+			end++
+		}
+		start = end
+	}
+	bounds = append(bounds, nnz)
+
+	parallel.For(rows, workers, func(r0, r1 int) {
+		for gi := 0; gi+1 < len(bounds); gi++ {
+			start, end := bounds[gi], bounds[gi+1]
+			for a := start; a < end; a++ {
+				ra := ts[a].row
+				if ra < r0 || ra >= r1 {
+					continue
+				}
+				ga := g.Row(ra)
+				va := ts[a].val
+				for b := start; b < end; b++ {
+					ga[ts[b].row] += va * ts[b].val
+				}
+			}
+		}
+	})
+	return g
+}
+
+// modeGramDenseWorkersRef is the previous ModeGramDenseWorkers: every
+// worker decodes the full linear index range and skips non-fiber-base
+// elements.
+func modeGramDenseWorkersRef(d *Dense, n, workers int) *mat.Matrix {
+	rows := d.Shape[n]
+	g := mat.New(rows, rows)
+	shape := d.Shape
+	strides := shape.Strides()
+	stride := strides[n]
+	total := shape.NumElements()
+	parallel.For(rows, workers, func(r0, r1 int) {
+		fiber := make([]float64, rows)
+		idx := make([]int, shape.Order())
+		for lin := 0; lin < total; lin++ {
+			shape.MultiIndex(lin, idx)
+			if idx[n] != 0 {
+				continue
+			}
+			base := lin
+			zero := true
+			for r := 0; r < rows; r++ {
+				fiber[r] = d.Data[base+r*stride]
+				if fiber[r] != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				continue
+			}
+			for a := r0; a < r1; a++ {
+				if fiber[a] == 0 {
+					continue
+				}
+				ga := g.Row(a)
+				va := fiber[a]
+				for b := 0; b < rows; b++ {
+					ga[b] += va * fiber[b]
+				}
+			}
+		}
+	})
+	return g
+}
+
+// ttmWorkersRef is the previous TTMWorkers: every linear index is
+// MultiIndex-decoded and non-fiber-base elements are skipped.
+func ttmWorkersRef(x *Dense, n int, m *mat.Matrix, workers int) *Dense {
+	outShape := x.Shape.Clone()
+	outShape[n] = m.Rows
+	out := NewDense(outShape)
+
+	inStride := x.Shape.Strides()[n]
+	outStride := outShape.Strides()[n]
+	inSize := x.Shape[n]
+	outSize := m.Rows
+
+	total := x.Shape.NumElements()
+	outStrides := outShape.Strides()
+	parallel.ForGrain(total, workers, ttmGrain, func(lo, hi int) {
+		idx := make([]int, x.Shape.Order())
+		for lin := lo; lin < hi; lin++ {
+			x.Shape.MultiIndex(lin, idx)
+			if idx[n] != 0 {
+				continue
+			}
+			outBase := 0
+			for k, i := range idx {
+				outBase += i * outStrides[k]
+			}
+			for j := 0; j < outSize; j++ {
+				var s float64
+				row := m.Row(j)
+				for i := 0; i < inSize; i++ {
+					s += row[i] * x.Data[lin+i*inStride]
+				}
+				out.Data[outBase+j*outStride] = s
+			}
+		}
+	})
+	return out
+}
+
+// ttmSparseWorkersRef is the previous TTMSparseWorkers: phase 2 partitions
+// output slabs j and every worker re-scans all nnz entries.
+func ttmSparseWorkersRef(x *Sparse, n int, m *mat.Matrix, workers int) *Dense {
+	outShape := x.Shape.Clone()
+	outShape[n] = m.Rows
+	out := NewDense(outShape)
+	outStrides := outShape.Strides()
+	stride := outStrides[n]
+
+	nnz := x.NNZ()
+	if parallel.Resolve(workers) <= 1 || nnz < ttmSparseMinNNZ || m.Rows == 1 {
+		x.Each(func(idx []int, v float64) {
+			base := 0
+			for k, i := range idx {
+				if k == n {
+					continue
+				}
+				base += i * outStrides[k]
+			}
+			in := idx[n]
+			for j := 0; j < m.Rows; j++ {
+				out.Data[base+j*stride] += v * m.At(j, in)
+			}
+		})
+		return out
+	}
+
+	o := x.Order()
+	bases := make([]int, nnz)
+	ins := make([]int, nnz)
+	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			idx := x.Idx[e*o : (e+1)*o]
+			base := 0
+			for k, i := range idx {
+				if k == n {
+					continue
+				}
+				base += i * outStrides[k]
+			}
+			bases[e] = base
+			ins[e] = idx[n]
+		}
+	})
+
+	parallel.For(m.Rows, workers, func(j0, j1 int) {
+		for e := 0; e < nnz; e++ {
+			v := x.Vals[e]
+			base := bases[e]
+			in := ins[e]
+			for j := j0; j < j1; j++ {
+				out.Data[base+j*stride] += v * m.At(j, in)
+			}
+		}
+	})
+	return out
+}
+
+// foldRef is the previous Fold: each column is decoded with a div/mod
+// chain and each element placed through a full LinearIndex call.
+func foldRef(m *mat.Matrix, n int, shape Shape) *Dense {
+	out := NewDense(shape)
+	order := shape.Order()
+	idx := make([]int, order)
+	modes := make([]int, 0, order-1)
+	for k := 0; k < order; k++ {
+		if k != n {
+			modes = append(modes, k)
+		}
+	}
+	for col := 0; col < m.Cols; col++ {
+		c := col
+		for _, k := range modes {
+			idx[k] = c % shape[k]
+			c /= shape[k]
+		}
+		for r := 0; r < m.Rows; r++ {
+			idx[n] = r
+			out.Data[shape.LinearIndex(idx)] = m.At(r, col)
+		}
+	}
+	return out
+}

@@ -4,16 +4,32 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Sparse is an N-mode tensor in coordinate (COO) format. Indices are stored
 // flattened: entry e occupies Idx[e*order : (e+1)*order]. Duplicate
 // coordinates are permitted until Dedup is called; most builders in this
 // module produce duplicate-free tensors directly.
+//
+// Sparse lazily caches compiled per-mode kernel plans (see ModePlan); the
+// mutating methods (Append, Dedup, SortByMode) invalidate them via a
+// generation counter. Code that mutates Idx or Vals directly must call
+// InvalidatePlans before the next kernel invocation. Sparse must not be
+// copied by value once PlanMode has been called.
 type Sparse struct {
 	Shape Shape
 	Idx   []int
 	Vals  []float64
+
+	// gen is the mutation generation; cached plans are valid only while
+	// their recorded generation matches.
+	gen uint64
+	// planMu guards plans; plan compilation itself happens outside the
+	// lock (per-mode sync.Once), so concurrent kernels on different modes
+	// never serialise their plan builds.
+	planMu sync.Mutex
+	plans  *planCache
 }
 
 // NewSparse returns an empty sparse tensor with the given shape.
@@ -39,6 +55,7 @@ func (s *Sparse) Append(idx []int, v float64) {
 	}
 	s.Idx = append(s.Idx, idx...)
 	s.Vals = append(s.Vals, v)
+	s.InvalidatePlans()
 }
 
 // Entry returns the multi-index slice (aliasing internal storage; do not
@@ -126,6 +143,7 @@ func (s *Sparse) Dedup(combine func(vals []float64) float64) {
 		}
 	}
 	s.Idx, s.Vals = newIdx, newVals
+	s.InvalidatePlans()
 }
 
 // SumDuplicates is a Dedup combiner that sums duplicate values.
@@ -176,4 +194,5 @@ func (s *Sparse) SortByMode(mode int) {
 		newVals[to] = s.Vals[from]
 	}
 	s.Idx, s.Vals = newIdx, newVals
+	s.InvalidatePlans()
 }

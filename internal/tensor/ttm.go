@@ -7,10 +7,14 @@ import (
 	"repro/internal/parallel"
 )
 
-// ttmGrain is the minimum number of linear indices per worker when fanning
-// a dense TTM out over fiber bases; below it the goroutine overhead beats
-// the arithmetic.
+// ttmGrain is the minimum number of linear indices' worth of work per
+// worker when fanning a dense TTM out over fiber bases; below it the
+// goroutine overhead beats the arithmetic.
 const ttmGrain = 2048
+
+// ttmFiberGrain is the minimum number of fibers per worker for the
+// stride-walk dense kernels (each fiber carries I_n·J multiply-adds).
+const ttmFiberGrain = 128
 
 // TTM computes the mode-n tensor–matrix product Y = X ×ₙ M for a dense
 // tensor, where M is J × I_n and the result has mode-n size J:
@@ -21,10 +25,13 @@ const ttmGrain = 2048
 func TTM(x *Dense, n int, m *mat.Matrix) *Dense { return TTMWorkers(x, n, m, 0) }
 
 // TTMWorkers is TTM on an explicit worker count (workers <= 0 selects the
-// parallel package default). The linear index space is partitioned across
-// workers; every fiber base writes a disjoint set of output elements in
-// the same order as the serial loop, so the result is bit-identical for
-// any worker count.
+// parallel package default). Fibers are enumerated by stride walking —
+// base(f) = (f/inner)·inner·I_n + f%inner with inner = Π_{k>n} I_k — so no
+// linear index is ever MultiIndex-decoded and no non-fiber-base element is
+// visited. Every fiber writes a disjoint set of output elements and each
+// output element is a single dot product accumulated in the serial order,
+// so the result is bit-identical for any worker count (and to the
+// pre-stride-walk kernel).
 func TTMWorkers(x *Dense, n int, m *mat.Matrix, workers int) *Dense {
 	if m.Cols != x.Shape[n] {
 		panic(fmt.Sprintf("tensor: TTM mode %d size %d != matrix cols %d", n, x.Shape[n], m.Cols))
@@ -32,38 +39,69 @@ func TTMWorkers(x *Dense, n int, m *mat.Matrix, workers int) *Dense {
 	outShape := x.Shape.Clone()
 	outShape[n] = m.Rows
 	out := NewDense(outShape)
+	ttmDenseKernel(x, n, m, out, workers)
+	return out
+}
 
-	inStride := x.Shape.Strides()[n]
-	outStride := outShape.Strides()[n]
+// ttmDenseKernel computes the mode-n dense TTM into a preallocated output
+// tensor (shape x.Shape with mode n resized to m.Rows). Every output
+// element is assigned exactly once, so out does not need to be zeroed.
+// The serial path runs inline without spawning closures, keeping the
+// steady-state Workspace TTM chain allocation-free.
+func ttmDenseKernel(x *Dense, n int, m *mat.Matrix, out *Dense, workers int) {
 	inSize := x.Shape[n]
 	outSize := m.Rows
+	order := x.Shape.Order()
+	inner := 1
+	for k := n + 1; k < order; k++ {
+		inner *= x.Shape[k]
+	}
+	total := len(x.Data)
+	if total == 0 || inSize == 0 {
+		return
+	}
+	numFibers := total / inSize
 
-	// Iterate over fibers: every element with idx[n] == 0 is a fiber base.
-	total := x.Shape.NumElements()
-	outStrides := outShape.Strides()
-	parallel.ForGrain(total, workers, ttmGrain, func(lo, hi int) {
-		idx := make([]int, x.Shape.Order())
-		for lin := lo; lin < hi; lin++ {
-			x.Shape.MultiIndex(lin, idx)
-			if idx[n] != 0 {
-				continue
-			}
-			// Same multi-index with mode n at 0 in the output tensor.
-			outBase := 0
-			for k, i := range idx {
-				outBase += i * outStrides[k]
-			}
-			for j := 0; j < outSize; j++ {
-				var s float64
-				row := m.Row(j)
-				for i := 0; i < inSize; i++ {
-					s += row[i] * x.Data[lin+i*inStride]
-				}
-				out.Data[outBase+j*outStride] = s
-			}
+	grain := ttmFiberGrain
+	if w := inSize * outSize; w > 0 {
+		if grain = ttmGrain / w; grain < 1 {
+			grain = 1
 		}
+	}
+	if parallel.Resolve(workers) <= 1 || numFibers < 2*grain {
+		ttmDenseRange(x, m, out, inner, inSize, outSize, 0, numFibers)
+		return
+	}
+	parallel.ForGrain(numFibers, workers, grain, func(lo, hi int) {
+		ttmDenseRange(x, m, out, inner, inSize, outSize, lo, hi)
 	})
-	return out
+}
+
+// ttmDenseRange processes fibers [lo, hi) of the stride-walk enumeration:
+// fiber f has input base (f/inner)·inner·inSize + f%inner and output base
+// (f/inner)·inner·outSize + f%inner; both advance incrementally.
+func ttmDenseRange(x *Dense, m *mat.Matrix, out *Dense, inner, inSize, outSize, lo, hi int) {
+	q, r := lo/inner, lo%inner
+	inBase := q*inner*inSize + r
+	outBase := q*inner*outSize + r
+	for f := lo; f < hi; f++ {
+		for j := 0; j < outSize; j++ {
+			row := m.Row(j)
+			var s float64
+			for i := 0; i < inSize; i++ {
+				s += row[i] * x.Data[inBase+i*inner]
+			}
+			out.Data[outBase+j*inner] = s
+		}
+		r++
+		inBase++
+		outBase++
+		if r == inner {
+			r = 0
+			inBase += inner * (inSize - 1)
+			outBase += inner * (outSize - 1)
+		}
+	}
 }
 
 // TTMSparse computes Y = X ×ₙ M where X is sparse, producing a dense
@@ -74,17 +112,19 @@ func TTMWorkers(x *Dense, n int, m *mat.Matrix, workers int) *Dense {
 // It runs on the package-default worker pool; see TTMSparseWorkers.
 func TTMSparse(x *Sparse, n int, m *mat.Matrix) *Dense { return TTMSparseWorkers(x, n, m, 0) }
 
-// ttmSparseMinNNZ gates the two-phase parallel sparse TTM; tiny tensors
+// ttmSparseMinNNZ gates the plan-based parallel sparse TTM; tiny tensors
 // run the single-pass serial loop.
 const ttmSparseMinNNZ = 4096
 
 // TTMSparseWorkers is TTMSparse on an explicit worker count. The parallel
-// path runs in two phases: (1) decode each entry's output base offset and
-// mode-n coordinate (disjoint writes across entry ranges), then (2)
-// partition the OUTPUT mode-n slabs j across workers, each scanning the
-// entry list in storage order. Every output element is therefore
-// accumulated by exactly one worker in exactly the serial entry order —
-// bit-identical results for any worker count.
+// path consumes the tensor's compiled mode plan (see ModePlan): entries
+// grouped by matricization column share one output base, and distinct
+// groups write disjoint output cells, so workers partition the GROUPS —
+// each worker touches only its own groups' entries instead of re-scanning
+// all nnz entries per output slab as the pre-plan kernel did. Within a
+// group the plan preserves storage order, so every output cell accumulates
+// its contributions in exactly the serial entry order — bit-identical
+// results for any worker count.
 func TTMSparseWorkers(x *Sparse, n int, m *mat.Matrix, workers int) *Dense {
 	if m.Cols != x.Shape[n] {
 		panic(fmt.Sprintf("tensor: TTMSparse mode %d size %d != matrix cols %d", n, x.Shape[n], m.Cols))
@@ -92,33 +132,19 @@ func TTMSparseWorkers(x *Sparse, n int, m *mat.Matrix, workers int) *Dense {
 	outShape := x.Shape.Clone()
 	outShape[n] = m.Rows
 	out := NewDense(outShape)
-	outStrides := outShape.Strides()
+	ttmSparseKernel(x, n, m, out, outShape.Strides(), workers)
+	return out
+}
+
+// ttmSparseKernel computes the mode-n sparse TTM into a preallocated,
+// ZEROED output tensor with the given strides. The serial path runs
+// inline without spawning closures.
+func ttmSparseKernel(x *Sparse, n int, m *mat.Matrix, out *Dense, outStrides []int, workers int) {
 	stride := outStrides[n]
-
 	nnz := x.NNZ()
-	if parallel.Resolve(workers) <= 1 || nnz < ttmSparseMinNNZ || m.Rows == 1 {
-		x.Each(func(idx []int, v float64) {
-			base := 0
-			for k, i := range idx {
-				if k == n {
-					continue
-				}
-				base += i * outStrides[k]
-			}
-			in := idx[n]
-			for j := 0; j < m.Rows; j++ {
-				out.Data[base+j*stride] += v * m.At(j, in)
-			}
-		})
-		return out
-	}
-
-	// Phase 1: decode per-entry output bases and mode-n coordinates.
 	o := x.Order()
-	bases := make([]int, nnz)
-	ins := make([]int, nnz)
-	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
-		for e := lo; e < hi; e++ {
+	if parallel.Resolve(workers) <= 1 || nnz < ttmSparseMinNNZ || m.Rows == 1 {
+		for e := 0; e < nnz; e++ {
 			idx := x.Idx[e*o : (e+1)*o]
 			base := 0
 			for k, i := range idx {
@@ -127,24 +153,41 @@ func TTMSparseWorkers(x *Sparse, n int, m *mat.Matrix, workers int) *Dense {
 				}
 				base += i * outStrides[k]
 			}
-			bases[e] = base
-			ins[e] = idx[n]
-		}
-	})
-
-	// Phase 2: each worker owns a contiguous range of output slabs j and
-	// scans every entry in storage order.
-	parallel.For(m.Rows, workers, func(j0, j1 int) {
-		for e := 0; e < nnz; e++ {
 			v := x.Vals[e]
-			base := bases[e]
-			in := ins[e]
-			for j := j0; j < j1; j++ {
+			in := idx[n]
+			for j := 0; j < m.Rows; j++ {
 				out.Data[base+j*stride] += v * m.At(j, in)
 			}
 		}
+		return
+	}
+
+	p := x.PlanMode(n, workers)
+	bounds, rows, vals, ents := p.Bounds, p.Rows, p.Vals, p.Ents
+	parallel.ForGrain(p.NumGroups(), workers, 16, func(g0, g1 int) {
+		for gi := g0; gi < g1; gi++ {
+			start, end := bounds[gi], bounds[gi+1]
+			// All entries of a group share the non-n coordinates; recover
+			// the output base from the first entry's multi-index.
+			e0 := ents[start]
+			idx := x.Idx[e0*o : (e0+1)*o]
+			base := 0
+			for k, i := range idx {
+				if k == n {
+					continue
+				}
+				base += i * outStrides[k]
+			}
+			for j := 0; j < m.Rows; j++ {
+				row := m.Row(j)
+				var s float64
+				for q := start; q < end; q++ {
+					s += vals[q] * row[rows[q]]
+				}
+				out.Data[base+j*stride] = s
+			}
+		}
 	})
-	return out
 }
 
 // MultiTTM applies Y = X ×₁ M[0] ×₂ M[1] … over all modes sequentially.

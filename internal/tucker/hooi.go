@@ -55,28 +55,37 @@ func HOOI(x *tensor.Sparse, ranks []int, opts HOOIOptions) Decomposition {
 	dec := HOSVDWorkers(x, ranks, w)
 	factors := dec.Factors
 
+	// All TTM chains inside the sweeps run on one reusable workspace: the
+	// two ping-pong buffers are sized on the first sweep and reused by
+	// every later mode update and energy check, so steady-state sweeps
+	// allocate nothing in the dense TTM chain. Workspace results alias the
+	// buffers; the returned core is cloned out below.
+	ws := tensor.NewWorkspace()
+	ms := make([]*mat.Matrix, order)
+
 	prevEnergy := dec.Core.Norm()
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		for n := 0; n < order; n++ {
 			// Project through every factor except mode n.
-			ms := make([]*mat.Matrix, order)
 			for k := 0; k < order; k++ {
 				if k != n {
 					ms[k] = mat.Transpose(factors[k])
+				} else {
+					ms[k] = nil
 				}
 			}
-			y := tensor.MultiTTMSparseWorkers(x, ms, w)
+			y := ws.MultiTTMSparseWorkers(x, ms, w)
 			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(y, n, w), ranks[n])
 		}
-		core := tensor.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
+		core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
 		energy := core.Norm()
 		if energy-prevEnergy <= opts.Tolerance*(prevEnergy+1e-300) {
-			return Decomposition{Core: core, Factors: factors, Ranks: ranks}
+			return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}
 		}
 		prevEnergy = energy
 	}
-	core := tensor.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
-	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
+	core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
+	return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}
 }
 
 // HOOIDense runs HOOI on a dense tensor.

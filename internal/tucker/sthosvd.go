@@ -29,16 +29,20 @@ func STHOSVDWorkers(x *tensor.Sparse, ranks []int, workers int) Decomposition {
 	order := x.Order()
 	factors := make([]*mat.Matrix, order)
 
+	// The projection chain ping-pongs on a reusable workspace; the final
+	// core is cloned out because workspace results alias its buffers.
+	ws := tensor.NewWorkspace()
+
 	// Mode 0 from the sparse tensor.
 	factors[0] = tensor.LeadingModeVectorsWorkers(x, 0, ranks[0], workers)
-	cur := tensor.TTMSparseWorkers(x, 0, mat.Transpose(factors[0]), workers)
+	cur := ws.TTMSparseWorkers(x, 0, mat.Transpose(factors[0]), workers)
 
 	// Remaining modes from the shrinking dense tensor.
 	for n := 1; n < order; n++ {
 		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(cur, n, workers), ranks[n])
-		cur = tensor.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
+		cur = ws.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
 	}
-	return Decomposition{Core: cur, Factors: factors, Ranks: ranks}
+	return Decomposition{Core: cur.Clone(), Factors: factors, Ranks: ranks}
 }
 
 // STHOSVDDense runs the sequentially truncated HOSVD on a dense tensor.
@@ -52,10 +56,11 @@ func STHOSVDDenseWorkers(x *tensor.Dense, ranks []int, workers int) Decompositio
 	ranks = ClipRanks(x.Shape, ranks)
 	order := x.Shape.Order()
 	factors := make([]*mat.Matrix, order)
+	ws := tensor.NewWorkspace()
 	cur := x
 	for n := 0; n < order; n++ {
 		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(cur, n, workers), ranks[n])
-		cur = tensor.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
+		cur = ws.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
 	}
-	return Decomposition{Core: cur, Factors: factors, Ranks: ranks}
+	return Decomposition{Core: cur.Clone(), Factors: factors, Ranks: ranks}
 }
