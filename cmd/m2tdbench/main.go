@@ -9,6 +9,16 @@
 //	m2tdbench -table 3 -workers 1,2,4,8,16
 //	m2tdbench -table 5 -res 16
 //	m2tdbench -table 2 -parallel 8        # 8-worker shared-memory pool
+//	m2tdbench -run -res 12 -timeout 2m    # one pipeline with a deadline
+//	m2tdbench -run -checkpoint ./ckpt -resume
+//	m2tdbench -run -fault-rate 0.1 -divergent-rate 0.02
+//
+// -run executes a single end-to-end pipeline instead of a table and
+// prints the report, including the fault-tolerance accounting. -timeout
+// bounds the whole run (the pipeline drains cooperatively and flushes
+// its checkpoint on expiry or Ctrl-C); -checkpoint/-resume enable
+// crash-safe restarts; -fault-rate/-divergent-rate inject seeded
+// transient and divergent simulation faults for resilience testing.
 //
 // -workers sweeps the SIMULATED worker count of the distributed D-M2TD
 // algorithm (Table III); -parallel sets the real shared-memory worker-pool
@@ -21,15 +31,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
+	m2td "repro"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/parallel"
 )
 
@@ -45,9 +60,39 @@ func main() {
 		csvOut  = flag.String("csv", "", "also export comparison rows as CSV to this file (tables 2 and 4)")
 		estim   = flag.Int("estimate", 0, "paper-scale mode: factored core + this many sampled accuracy fibers (required beyond res ≈24)")
 		par     = flag.Int("parallel", 0, "shared-memory worker-pool size for the decomposition kernels (0 = all CPUs, 1 = serial; results are identical for any value)")
+
+		runOne     = flag.Bool("run", false, "execute a single end-to-end pipeline (instead of a table) and print the report")
+		timeout    = flag.Duration("timeout", 0, "with -run: overall deadline; the pipeline drains cooperatively and flushes its checkpoint on expiry (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "with -run: directory for crash-safe simulation checkpoints")
+		resume     = flag.Bool("resume", false, "with -run: resume from a compatible checkpoint in -checkpoint, skipping finished simulations")
+		faultRate  = flag.Float64("fault-rate", 0, "with -run: injected transient-failure rate per simulation (seeded, deterministic)")
+		divRate    = flag.Float64("divergent-rate", 0, "with -run: injected divergent (non-finite trajectory) rate per simulation")
+		faultSeed  = flag.Int64("fault-seed", 1, "with -run: fault-injection seed")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*par)
+
+	if *runOne {
+		cfg := m2td.Config{
+			Resolution:         firstInt(*res),
+			TimeSamples:        *timeS,
+			Rank:               firstInt(*rank),
+			Seed:               *seed,
+			Parallel:           *par,
+			CheckpointDir:      *checkpoint,
+			Resume:             *resume,
+			SkipAccuracy:       *estim == 0 && firstInt(*res) > 24,
+			AccuracySampleSims: *estim,
+		}
+		if *faultRate > 0 || *divRate > 0 {
+			cfg.Faults = &faults.Config{Seed: *faultSeed, TransientRate: *faultRate, DivergentRate: *divRate}
+		}
+		if err := runPipeline(cfg, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "m2tdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	base := eval.Config{}
 	singleRes := firstInt(*res)
@@ -88,6 +133,44 @@ func main() {
 		}
 		fmt.Printf("\n[table %s regenerated in %v]\n", tb, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runPipeline executes one end-to-end pipeline under an interruptible
+// context (Ctrl-C and -timeout both cancel cooperatively: in-flight
+// simulations finish, the checkpoint is flushed, and the run reports a
+// wrapped context error) and prints the report with its fault-tolerance
+// accounting.
+func runPipeline(cfg m2td.Config, timeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	report, err := m2td.RunCtx(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system=%s res=%d rank=%d seed=%d\n",
+		report.Space.Sys.Name(), cfg.Resolution, cfg.Rank, cfg.Seed)
+	if !math.IsNaN(report.Accuracy) {
+		fmt.Printf("accuracy           %.4f\n", report.Accuracy)
+	}
+	fmt.Printf("simulations        %d (executed %d, restored %d, retried %d, failed %d)\n",
+		report.NumSims, report.ExecutedSims, report.RestoredSims, report.RetriedSims, report.FailedSims)
+	fmt.Printf("quarantined cells  %d\n", report.QuarantinedCells)
+	fmt.Printf("effective density  %.4f / %.4f\n", report.EffectiveDensity1, report.EffectiveDensity2)
+	if fs := report.FaultStats; fs != nil {
+		fmt.Printf("injected faults    transient sims %d (failures %d), divergent %d, panicked %d, delayed %d\n",
+			fs.TransientSims, fs.TransientFailures, fs.DivergentSims, fs.PanickedSims, fs.DelayedSims)
+	}
+	fmt.Printf("join cells         %d\n", report.JoinCells)
+	fmt.Printf("sim %v, decomp %v, total %v\n",
+		report.SimTime.Round(time.Millisecond), report.DecompTime.Round(time.Millisecond),
+		time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // runSeeds executes the multi-seed sweep of the base configuration.

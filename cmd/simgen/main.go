@@ -7,9 +7,17 @@
 //	simgen -system lorenz -samples 20                 # reference trajectory
 //	simgen -system double-pendulum -params 0.5,1,1,1  # specific parameters
 //	simgen -system lorenz -ensemble -scheme random -budget 100 -res 8
+//	simgen -ensemble -fault-rate 0.1 -timeout 30s     # resilience drill
+//
+// -timeout bounds the whole run with a deadline (Ctrl-C cancels too);
+// the fan-out drains cooperatively instead of being killed mid-write.
+// -fault-rate injects seeded transient simulation failures that are
+// retried with backoff; the fault/retry accounting is printed to stderr
+// so the data stream on stdout stays clean.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -17,11 +25,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dynsys"
 	"repro/internal/ensemble"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -35,21 +46,39 @@ func main() {
 		budget   = flag.Int("budget", 64, "ensemble simulation budget")
 		res      = flag.Int("res", 8, "ensemble grid resolution per parameter")
 		seed     = flag.Int64("seed", 1, "sampling seed")
+		timeout  = flag.Duration("timeout", 0, "overall deadline; the run drains cooperatively on expiry or Ctrl-C (0 = none)")
+		faultRt  = flag.Float64("fault-rate", 0, "injected transient-failure rate per simulation (seeded, deterministic; retried with backoff)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sys, err := dynsys.ByName(*system)
 	if err != nil {
 		fatal(err)
 	}
+	var inj *faults.Injector
+	if *faultRt > 0 {
+		inj = faults.New(faults.Config{Seed: *seed, TransientRate: *faultRt})
+		sys = inj.Wrap(sys)
+	}
 	if *ensemble {
-		if err := dumpEnsemble(os.Stdout, sys, *scheme, *budget, *res, *samples, *seed, *format); err != nil {
+		if err := dumpEnsemble(ctx, os.Stdout, sys, *scheme, *budget, *res, *samples, *seed, *format); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := dumpTrajectory(os.Stdout, sys, *params, *samples, *format); err != nil {
+	} else if err := dumpTrajectory(ctx, os.Stdout, sys, *params, *samples, *format); err != nil {
 		fatal(err)
+	}
+	if inj != nil {
+		s := inj.Stats()
+		fmt.Fprintf(os.Stderr, "simgen: faults: %d attempts, %d transient failures across %d sims (all retried)\n",
+			s.Attempts, s.TransientFailures, s.TransientSims)
 	}
 }
 
@@ -58,7 +87,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func dumpTrajectory(w io.Writer, sys dynsys.System, params string, samples int, format string) error {
+func dumpTrajectory(ctx context.Context, w io.Writer, sys dynsys.System, params string, samples int, format string) error {
 	vals := dynsys.ReferenceParams(sys)
 	if params != "" {
 		parts := strings.Split(params, ",")
@@ -73,7 +102,10 @@ func dumpTrajectory(w io.Writer, sys dynsys.System, params string, samples int, 
 			vals[i] = v
 		}
 	}
-	traj := sys.Trajectory(vals, samples)
+	traj, err := trajectoryWithRetry(ctx, sys, vals, samples)
+	if err != nil {
+		return err
+	}
 	switch format {
 	case "json":
 		return json.NewEncoder(w).Encode(map[string]interface{}{
@@ -105,7 +137,19 @@ func dumpTrajectory(w io.Writer, sys dynsys.System, params string, samples int, 
 	return fmt.Errorf("unknown format %q", format)
 }
 
-func dumpEnsemble(out io.Writer, sys dynsys.System, scheme string, budget, res, samples int, seed int64, format string) error {
+// trajectoryWithRetry runs one trajectory through the ctx-aware path so
+// deadlines apply and injected transient failures are retried.
+func trajectoryWithRetry(ctx context.Context, sys dynsys.System, vals []float64, samples int) ([][]float64, error) {
+	var traj [][]float64
+	_, err := faults.RetryPolicy{BaseBackoff: time.Millisecond}.Run(ctx, faults.SimKey(0, vals), func(actx context.Context) error {
+		var terr error
+		traj, terr = dynsys.TrajectoryCtx(actx, sys, vals, samples)
+		return terr
+	})
+	return traj, err
+}
+
+func dumpEnsemble(ctx context.Context, out io.Writer, sys dynsys.System, scheme string, budget, res, samples int, seed int64, format string) error {
 	space := ensemble.NewSpace(sys, res, samples)
 	var sims []ensemble.Sim
 	rng := rand.New(rand.NewSource(seed))
@@ -119,7 +163,16 @@ func dumpEnsemble(out io.Writer, sys dynsys.System, scheme string, budget, res, 
 	default:
 		return fmt.Errorf("unknown scheme %q", scheme)
 	}
-	se := ensemble.Encode(space, sims)
+	se, stats, err := ensemble.EncodeCtx(ctx, space, sims, ensemble.EncodeOptions{
+		Retry: faults.RetryPolicy{BaseBackoff: time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	if stats.FailedSims > 0 || stats.QuarantinedCells > 0 || stats.RetriedSims > 0 {
+		fmt.Fprintf(os.Stderr, "simgen: encode: %d executed, %d retried, %d failed sims; %d cells quarantined\n",
+			stats.ExecutedSims, stats.RetriedSims, stats.FailedSims, stats.QuarantinedCells)
+	}
 	switch format {
 	case "json":
 		type cell struct {

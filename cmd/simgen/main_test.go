@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestDumpTrajectoryCSV(t *testing.T) {
 	sys := dynsys.NewLorenz()
 	var b strings.Builder
-	if err := dumpTrajectory(&b, sys, "", 3, "csv"); err != nil {
+	if err := dumpTrajectory(context.Background(), &b, sys, "", 3, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
@@ -26,7 +27,7 @@ func TestDumpTrajectoryCSV(t *testing.T) {
 func TestDumpTrajectoryJSON(t *testing.T) {
 	sys := dynsys.NewSEIR()
 	var b strings.Builder
-	if err := dumpTrajectory(&b, sys, "0.3,0.2,0.1,0.01", 2, "json"); err != nil {
+	if err := dumpTrajectory(context.Background(), &b, sys, "0.3,0.2,0.1,0.01", 2, "json"); err != nil {
 		t.Fatal(err)
 	}
 	var decoded map[string]interface{}
@@ -45,13 +46,13 @@ func TestDumpTrajectoryJSON(t *testing.T) {
 func TestDumpTrajectoryErrors(t *testing.T) {
 	sys := dynsys.NewLorenz()
 	var b strings.Builder
-	if err := dumpTrajectory(&b, sys, "1,2", 2, "csv"); err == nil {
+	if err := dumpTrajectory(context.Background(), &b, sys, "1,2", 2, "csv"); err == nil {
 		t.Fatal("wrong parameter count accepted")
 	}
-	if err := dumpTrajectory(&b, sys, "a,b,c,d", 2, "csv"); err == nil {
+	if err := dumpTrajectory(context.Background(), &b, sys, "a,b,c,d", 2, "csv"); err == nil {
 		t.Fatal("non-numeric parameters accepted")
 	}
-	if err := dumpTrajectory(&b, sys, "", 2, "xml"); err == nil {
+	if err := dumpTrajectory(context.Background(), &b, sys, "", 2, "xml"); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }
@@ -59,7 +60,7 @@ func TestDumpTrajectoryErrors(t *testing.T) {
 func TestDumpEnsembleCSV(t *testing.T) {
 	sys := dynsys.NewDoublePendulum()
 	var b strings.Builder
-	if err := dumpEnsemble(&b, sys, "grid", 16, 4, 2, 1, "csv"); err != nil {
+	if err := dumpEnsemble(context.Background(), &b, sys, "grid", 16, 4, 2, 1, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
@@ -75,7 +76,7 @@ func TestDumpEnsembleCSV(t *testing.T) {
 func TestDumpEnsembleJSON(t *testing.T) {
 	sys := dynsys.NewLorenz()
 	var b strings.Builder
-	if err := dumpEnsemble(&b, sys, "random", 5, 4, 2, 1, "json"); err != nil {
+	if err := dumpEnsemble(context.Background(), &b, sys, "random", 5, 4, 2, 1, "json"); err != nil {
 		t.Fatal(err)
 	}
 	var decoded map[string]interface{}
@@ -90,10 +91,10 @@ func TestDumpEnsembleJSON(t *testing.T) {
 func TestDumpEnsembleErrors(t *testing.T) {
 	sys := dynsys.NewLorenz()
 	var b strings.Builder
-	if err := dumpEnsemble(&b, sys, "bogus", 5, 4, 2, 1, "csv"); err == nil {
+	if err := dumpEnsemble(context.Background(), &b, sys, "bogus", 5, 4, 2, 1, "csv"); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
-	if err := dumpEnsemble(&b, sys, "random", 5, 4, 2, 1, "xml"); err == nil {
+	if err := dumpEnsemble(context.Background(), &b, sys, "random", 5, 4, 2, 1, "xml"); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -90,6 +91,16 @@ func (r *Result) Reconstruct() *tensor.Dense {
 
 // Decompose runs M2TD over a PF-partitioned pair of sub-ensembles.
 func Decompose(p *partition.Result, opts Options) (*Result, error) {
+	return DecomposeCtx(context.Background(), p, opts)
+}
+
+// DecomposeCtx is Decompose with cooperative cancellation, polled between
+// the three phases (sub-decomposition, stitching, core recovery). A phase
+// that has started always runs to completion — its kernels never observe
+// the context — so cancellation leaves no partially assembled factor set
+// or half-stitched join behind; an un-cancelled DecomposeCtx is
+// bit-identical to Decompose.
+func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Result, error) {
 	switch opts.Method {
 	case AVG, CONCAT, SELECT:
 	default:
@@ -101,11 +112,19 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 	}
 	ranks := tucker.ClipRanks(p.Space.Shape(), opts.Ranks)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Phase 1: decompose the two low-order sub-tensors. Only the factor
 	// matrices are needed; Gram matrices are retained for CONCAT fusion.
 	start := time.Now()
 	factors := buildFactors(p, opts.Method, ranks, opts.Workers)
 	subTime := time.Since(start)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: JE-stitching.
 	start = time.Now()
@@ -116,6 +135,10 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 		j = stitch.Join(p)
 	}
 	stitchTime := time.Since(start)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: recover the core through the assembled factors.
 	start = time.Now()

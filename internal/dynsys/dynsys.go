@@ -11,6 +11,7 @@
 package dynsys
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -43,6 +44,34 @@ type System interface {
 	// Trajectory simulates the system for the given parameter values and
 	// returns the observed state at numSamples evenly spaced timestamps.
 	Trajectory(vals []float64, numSamples int) [][]float64
+}
+
+// CtxSystem is implemented by systems whose simulations are cancellable
+// and fallible — fault-injection wrappers (internal/faults), external
+// solvers, remote workers. The pipeline's simulation fan-out always calls
+// through TrajectoryCtx (via the package-level TrajectoryCtx helper), so a
+// wrapped system's failures surface as errors that the retry/quarantine
+// machinery can handle, while the plain Trajectory path stays infallible
+// for reference trajectories and ground-truth construction.
+type CtxSystem interface {
+	System
+	// TrajectoryCtx simulates like Trajectory but may fail and must honour
+	// context cancellation.
+	TrajectoryCtx(ctx context.Context, vals []float64, numSamples int) ([][]float64, error)
+}
+
+// TrajectoryCtx simulates sys through the fallible path when it implements
+// CtxSystem, and otherwise falls back to the infallible Trajectory after a
+// context check. This is the single entry point the pipeline runtime uses
+// for ensemble simulation runs.
+func TrajectoryCtx(ctx context.Context, sys System, vals []float64, numSamples int) ([][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cs, ok := sys.(CtxSystem); ok {
+		return cs.TrajectoryCtx(ctx, vals, numSamples)
+	}
+	return sys.Trajectory(vals, numSamples), nil
 }
 
 // Distance returns the Euclidean distance between two state vectors.
@@ -90,6 +119,25 @@ func CellValues(sys System, vals []float64, ref [][]float64) []float64 {
 		out[t] = Distance(traj[t], ref[t])
 	}
 	return out
+}
+
+// CellValuesCtx is CellValues through the cancellable, fallible simulation
+// path: the trajectory is obtained via TrajectoryCtx, so wrapped systems
+// can fail, inject faults, or be cancelled mid-campaign. Divergent
+// (non-finite) trajectories flow through untouched — quarantining them is
+// the ingest layer's job (tensor.Sparse RejectNonFinite), which keeps the
+// failure accounting in one place.
+func CellValuesCtx(ctx context.Context, sys System, vals []float64, ref [][]float64) ([]float64, error) {
+	numSamples := len(ref)
+	traj, err := TrajectoryCtx(ctx, sys, vals, numSamples)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, numSamples)
+	for t := range out {
+		out[t] = Distance(traj[t], ref[t])
+	}
+	return out, nil
 }
 
 // ByName returns the named system with default physical constants.

@@ -1,12 +1,15 @@
 package ensemble
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 
+	"repro/internal/faults"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -197,41 +200,123 @@ func LatinHypercubeSample(s *Space, budget int, rng *rand.Rand) []Sim {
 	return sims
 }
 
+// EncodeOptions configures the fault-tolerant Encode fan-out.
+type EncodeOptions struct {
+	// Workers is the shared worker-pool size (0 = package default, 1 =
+	// serial).
+	Workers int
+	// Retry is the transient-failure retry policy for simulation runs;
+	// the zero value normalizes to the faults package defaults.
+	Retry faults.RetryPolicy
+}
+
+// EncodeStats accounts for every fault handled during an Encode fan-out.
+type EncodeStats struct {
+	// ExecutedSims counts simulations actually run (success or failure).
+	ExecutedSims int
+	// RetriedSims counts simulations that succeeded after ≥1 failed
+	// attempt.
+	RetriedSims int
+	// FailedSims counts simulations dropped after panic or retry
+	// exhaustion; their cells are simply absent from the tensor.
+	FailedSims int
+	// QuarantinedCells counts non-finite cell values rejected at ingest.
+	QuarantinedCells int
+}
+
 // Encode runs every selected simulation and stores its per-timestamp cell
 // values into a sparse ensemble tensor of the full 5-mode shape.
-// Simulations execute in parallel across all CPUs.
+// Simulations execute in parallel on the shared worker pool; see EncodeCtx
+// for the cancellable, fault-tolerant entry point.
 func Encode(s *Space, sims []Sim) *SparseEnsemble {
-	s.Reference()
+	se, _, err := EncodeCtx(context.Background(), s, sims, EncodeOptions{})
+	if err != nil {
+		// Unreachable with a background context: EncodeCtx only fails on
+		// context cancellation.
+		panic(fmt.Sprintf("ensemble: Encode: %v", err))
+	}
+	return se
+}
+
+// EncodeCtx is Encode on the shared worker pool with the full
+// fault-tolerance runtime: cooperative cancellation (deterministic drain,
+// no goroutine leaks), bounded retries with backoff for transient
+// simulation failures, panic capture that converts a crashed run into a
+// recorded failure, and divergence quarantine of non-finite cell values at
+// ingest. The returned stats account for every fault handled; the tensor
+// layout is bit-identical to the legacy Encode for fault-free runs under
+// any worker count.
+func EncodeCtx(ctx context.Context, s *Space, sims []Sim, opts EncodeOptions) (*SparseEnsemble, EncodeStats, error) {
+	s.Reference() // materialise before fan-out
 	t := s.TimeSamples
 	nParams := s.NumParams()
 	values := make([][]float64, len(sims))
 
-	workers := runtime.NumCPU()
-	if workers > len(sims) {
-		workers = len(sims)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(sims); i += workers {
-				values[i] = s.SimCells(sims[i])
+	var (
+		mu    sync.Mutex
+		stats EncodeStats
+	)
+	err := parallel.ForCtx(ctx, len(sims), opts.Workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			if ctx.Err() != nil {
+				return
 			}
-		}(w)
+			var cells []float64
+			key := faults.SimKey(0, floatsOf(sims[i]))
+			attempts, rerr := opts.Retry.Run(ctx, key, func(actx context.Context) error {
+				c, serr := s.SimCellsCtx(actx, sims[i])
+				if serr != nil {
+					return serr
+				}
+				cells = c
+				return nil
+			})
+			mu.Lock()
+			switch {
+			case rerr == nil:
+				stats.ExecutedSims++
+				if attempts > 1 {
+					stats.RetriedSims++
+				}
+				values[i] = cells
+			case errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded):
+				// Campaign-level cancellation: not a simulation failure.
+			default:
+				stats.ExecutedSims++
+				stats.FailedSims++
+			}
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-	wg.Wait()
 
 	sp := &SparseEnsemble{Space: s, Tensor: tensor.NewSparse(s.Shape()), NumSims: len(sims)}
+	sp.Tensor.RejectNonFinite = true
 	idx := make([]int, nParams+1)
 	for i, sim := range sims {
+		if values[i] == nil {
+			continue // failed simulation: cells absent
+		}
 		copy(idx, sim)
 		for tt := 0; tt < t; tt++ {
 			idx[nParams] = tt
 			sp.Tensor.Append(idx, values[i][tt])
 		}
 	}
-	return sp
+	stats.QuarantinedCells = sp.Tensor.Rejected
+	sp.Stats = stats
+	return sp, stats, nil
+}
+
+// floatsOf widens grid indices to the float key the faults package hashes.
+func floatsOf(sim Sim) []float64 {
+	out := make([]float64, len(sim))
+	for i, v := range sim {
+		out[i] = float64(v)
+	}
+	return out
 }
 
 // SparseEnsemble couples an encoded ensemble tensor with its simulation
@@ -240,8 +325,11 @@ type SparseEnsemble struct {
 	Space *Space
 	// Tensor is the sparse 5-mode ensemble tensor.
 	Tensor *tensor.Sparse
-	// NumSims is the number of simulation runs spent.
+	// NumSims is the number of simulation runs spent (budget, including
+	// failed runs).
 	NumSims int
+	// Stats is the fault accounting of the encode fan-out.
+	Stats EncodeStats
 }
 
 // String summarises the ensemble for logs and debugging.

@@ -7,6 +7,7 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -103,6 +104,13 @@ func (s *Space) Reference() [][]float64 {
 // returns the tensor cell values for all TimeSamples timestamps.
 func (s *Space) SimCells(idx []int) []float64 {
 	return dynsys.CellValues(s.Sys, s.ParamValues(idx), s.Reference())
+}
+
+// SimCellsCtx is SimCells through the cancellable, fallible simulation
+// path (dynsys.CellValuesCtx): fault-injecting or external systems can
+// return errors, and cancellation aborts before the solver starts.
+func (s *Space) SimCellsCtx(ctx context.Context, idx []int) ([]float64, error) {
+	return dynsys.CellValuesCtx(ctx, s.Sys, s.ParamValues(idx), s.Reference())
 }
 
 // DefaultIndex returns the grid index used as the fixing constant for a

@@ -1,0 +1,269 @@
+// Package faults is the fault-injection and retry layer of the pipeline
+// runtime. The paper's premise is that the simulation budget B is the
+// scarce resource: a production ensemble service cannot afford to lose a
+// campaign to one crashed or divergent solver. This package provides
+//
+//   - a seeded, DETERMINISTIC fault-injection harness (Injector) that
+//     wraps a dynsys.System and injects simulation panics, transient
+//     errors, non-finite (divergent) trajectories, and artificial latency
+//     at configurable rates — every decision is a pure function of the
+//     seed and the simulation's parameter values, never of timing or
+//     execution order, so campaigns are reproducible under any worker
+//     count and across resumed runs;
+//   - a RetryPolicy (retry.go) with bounded attempts, exponential backoff
+//     with seeded jitter, and a per-attempt timeout, used by the
+//     simulation fan-out to survive transient failures; and
+//   - panic capture that converts a crashed simulation into a recorded
+//     failure instead of a dead process.
+//
+// Failure taxonomy (see DESIGN.md "Fault tolerance & resumability"):
+//
+//   - transient — the run errors but a retry succeeds; accounted as a
+//     retried simulation.
+//   - divergent — the run completes but produces non-finite values; its
+//     cells are quarantined at tensor ingest (tensor.Sparse
+//     RejectNonFinite) and accounted as quarantined cells.
+//   - fatal — the run panics or exhausts its retry budget; it is recorded
+//     as a failed simulation and its cells are simply absent from the
+//     sub-ensemble (the slice-sampling tensor-completion assumption: some
+//     sampled slices never arrive).
+package faults
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/dynsys"
+)
+
+// Config configures deterministic fault injection. All rates are
+// probabilities in [0, 1] evaluated independently per simulation (keyed by
+// the simulation's parameter values and Seed).
+type Config struct {
+	// Seed drives every injection decision; identical seeds reproduce
+	// identical fault patterns regardless of scheduling.
+	Seed int64
+	// TransientRate is the fraction of simulations that fail with a
+	// retryable error on their first TransientAttempts attempts.
+	TransientRate float64
+	// TransientAttempts is how many consecutive attempts of an affected
+	// simulation fail before it succeeds (default 1, so one retry
+	// recovers it).
+	TransientAttempts int
+	// DivergentRate is the fraction of simulations whose trajectory is
+	// replaced with NaNs — modelling a divergent solver whose output must
+	// be quarantined downstream.
+	DivergentRate float64
+	// PanicRate is the fraction of simulations that panic (a fatal fault:
+	// captured, recorded as a failed run, never retried).
+	PanicRate float64
+	// LatencyRate is the fraction of simulations delayed by Latency
+	// before running (context-aware: cancellation interrupts the sleep).
+	LatencyRate float64
+	// Latency is the injected delay for latency-affected simulations.
+	Latency time.Duration
+	// Hook, when non-nil, is invoked at the start of every injected
+	// simulation attempt. Test harnesses use it to count executed
+	// simulations and to cancel campaigns mid-flight.
+	Hook func()
+}
+
+// Stats is the injector's accounting, used by tests and reports to verify
+// that the pipeline's failure accounting balances exactly against what was
+// injected.
+type Stats struct {
+	// Attempts counts fallible simulation attempts observed.
+	Attempts int
+	// TransientFailures counts injected transient error returns (a single
+	// simulation contributes TransientAttempts of these).
+	TransientFailures int
+	// TransientSims counts distinct simulations given transient faults.
+	TransientSims int
+	// DivergentSims counts distinct simulations whose output was made
+	// non-finite.
+	DivergentSims int
+	// PanickedSims counts distinct simulations that panicked.
+	PanickedSims int
+	// DelayedSims counts distinct simulations that were delayed.
+	DelayedSims int
+}
+
+// Injector injects faults per its Config. It is safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu            sync.Mutex
+	attempts      map[uint64]int
+	transientSeen map[uint64]bool
+	divergentSeen map[uint64]bool
+	panicSeen     map[uint64]bool
+	delaySeen     map[uint64]bool
+	stats         Stats
+}
+
+// New returns an injector for the config.
+func New(cfg Config) *Injector {
+	if cfg.TransientAttempts < 1 {
+		cfg.TransientAttempts = 1
+	}
+	return &Injector{
+		cfg:           cfg,
+		attempts:      make(map[uint64]int),
+		transientSeen: make(map[uint64]bool),
+		divergentSeen: make(map[uint64]bool),
+		panicSeen:     make(map[uint64]bool),
+		delaySeen:     make(map[uint64]bool),
+	}
+}
+
+// Stats returns a snapshot of the injection accounting.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Wrap returns sys with fault injection on the fallible TrajectoryCtx
+// path. The plain Trajectory path passes through untouched, so reference
+// trajectories and ground-truth construction stay clean — only ensemble
+// simulation runs (which go through dynsys.TrajectoryCtx) see faults.
+func (in *Injector) Wrap(sys dynsys.System) dynsys.System {
+	return &faultySystem{sys: sys, in: in}
+}
+
+// faultySystem decorates a System with injection; it implements
+// dynsys.CtxSystem so the pipeline's fallible path picks it up.
+type faultySystem struct {
+	sys dynsys.System
+	in  *Injector
+}
+
+func (f *faultySystem) Name() string           { return f.sys.Name() }
+func (f *faultySystem) Params() []dynsys.Param { return f.sys.Params() }
+func (f *faultySystem) StateDim() int          { return f.sys.StateDim() }
+
+// Trajectory is the clean passthrough (reference/ground-truth path).
+func (f *faultySystem) Trajectory(vals []float64, numSamples int) [][]float64 {
+	return f.sys.Trajectory(vals, numSamples)
+}
+
+// Salts for the independent per-fault hash draws.
+const (
+	saltTransient = 0x7472616e7369656e // "transien"
+	saltDivergent = 0x6469766572676500 // "diverge"
+	saltPanic     = 0x70616e6963000000 // "panic"
+	saltLatency   = 0x6c6174656e637900 // "latency"
+)
+
+// TrajectoryCtx implements the fallible simulation path with injection.
+func (f *faultySystem) TrajectoryCtx(ctx context.Context, vals []float64, numSamples int) ([][]float64, error) {
+	in := f.in
+	cfg := in.cfg
+	if cfg.Hook != nil {
+		cfg.Hook()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := SimKey(cfg.Seed, vals)
+	attempt := in.nextAttempt(key)
+
+	// Artificial latency (context-aware).
+	if cfg.LatencyRate > 0 && unit(key, saltLatency) < cfg.LatencyRate {
+		in.noteOnce(in.delaySeen, key, func(s *Stats) { s.DelayedSims++ })
+		if cfg.Latency > 0 {
+			timer := time.NewTimer(cfg.Latency)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+	// Simulation panic (fatal: the retry harness captures it and records a
+	// failed run).
+	if cfg.PanicRate > 0 && unit(key, saltPanic) < cfg.PanicRate {
+		in.noteOnce(in.panicSeen, key, func(s *Stats) { s.PanickedSims++ })
+		panic(fmt.Sprintf("faults: injected simulation panic (sim %016x attempt %d)", key, attempt))
+	}
+	// Transient failure on the first TransientAttempts attempts.
+	if cfg.TransientRate > 0 && unit(key, saltTransient) < cfg.TransientRate && attempt <= cfg.TransientAttempts {
+		in.noteOnce(in.transientSeen, key, func(s *Stats) { s.TransientSims++ })
+		in.mu.Lock()
+		in.stats.TransientFailures++
+		in.mu.Unlock()
+		return nil, &Transient{Err: fmt.Errorf("faults: injected transient failure (sim %016x attempt %d)", key, attempt)}
+	}
+
+	traj, err := dynsys.TrajectoryCtx(ctx, f.sys, vals, numSamples)
+	if err != nil {
+		return nil, err
+	}
+	// Divergence: replace the trajectory with NaNs so every derived cell
+	// is non-finite and must be quarantined at ingest.
+	if cfg.DivergentRate > 0 && unit(key, saltDivergent) < cfg.DivergentRate {
+		in.noteOnce(in.divergentSeen, key, func(s *Stats) { s.DivergentSims++ })
+		out := make([][]float64, len(traj))
+		for i, st := range traj {
+			row := make([]float64, len(st))
+			for j := range row {
+				row[j] = math.NaN()
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+	return traj, nil
+}
+
+// nextAttempt returns the 1-based attempt number for a simulation key.
+func (in *Injector) nextAttempt(key uint64) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.attempts[key]++
+	in.stats.Attempts++
+	return in.attempts[key]
+}
+
+// noteOnce records a per-sim statistic exactly once per key.
+func (in *Injector) noteOnce(seen map[uint64]bool, key uint64, bump func(*Stats)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !seen[key] {
+		seen[key] = true
+		bump(&in.stats)
+	}
+}
+
+// SimKey derives the deterministic 64-bit identity of one simulation from
+// the injection seed and the simulation's parameter values. It is exported
+// so retry jitter and test harnesses can key off the same identity.
+func SimKey(seed int64, vals []float64) uint64 {
+	h := mix(uint64(seed) ^ 0x4d32544446415553) // "M2TDFAUS"
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h = mix(h ^ binary.LittleEndian.Uint64(b[:]))
+	}
+	return h
+}
+
+// mix is the splitmix64 finaliser: a high-quality 64-bit mixer whose
+// output is a pure function of its input.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps (key, salt) to a uniform float in [0, 1), independently per
+// salt — the per-fault biased coin.
+func unit(key, salt uint64) float64 {
+	return float64(mix(key^mix(salt))>>11) / (1 << 53)
+}

@@ -1,0 +1,102 @@
+package parallel
+
+import "context"
+
+// The ctx-aware variants below are the cancellation layer of the pipeline
+// runtime: they preserve every determinism guarantee of For/Do/Reduce on
+// the success path (identical chunk grids, identical merge orders, so
+// results stay bit-identical for any worker count) and add cooperative
+// cancellation with DETERMINISTIC DRAINING on the failure path — when the
+// context is cancelled, no new unit of work starts, units already started
+// run to completion (a kernel is never abandoned mid-write), all workers
+// are joined, and only then does the call return ctx.Err(). Callers
+// discard partial output on a non-nil error.
+
+// ctxPollStrips bounds how many times each ForCtx worker polls the context
+// while draining its chunk: the chunk is subdivided into at most this many
+// strips with a poll before each. The subdivision never changes results —
+// For-based kernels partition their OUTPUT index space, so every element
+// is still computed whole, by the same worker, in the same order.
+const ctxPollStrips = 16
+
+// ForCtx is For with cooperative cancellation. The chunk grid is identical
+// to For's (boundaries depend only on n and the resolved worker count);
+// each worker walks its chunk in up to ctxPollStrips strips, polling the
+// context before each strip. On cancellation workers drain: the strip in
+// flight finishes, no further strip begins, and ForCtx returns ctx.Err()
+// after all workers have been joined — no goroutine outlives the call.
+// An un-cancelled ForCtx is bit-identical to For. Worker panics are
+// re-raised on the caller exactly as with For.
+func ForCtx(ctx context.Context, n, workers int, fn func(start, end int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	For(n, workers, func(start, end int) {
+		strip := (end - start + ctxPollStrips - 1) / ctxPollStrips
+		if strip < 1 {
+			strip = 1
+		}
+		for s := start; s < end; s += strip {
+			if ctx.Err() != nil {
+				return
+			}
+			e := s + strip
+			if e > end {
+				e = end
+			}
+			fn(s, e)
+		}
+	})
+	return ctx.Err()
+}
+
+// DoCtx is Do with cooperative cancellation: workers poll the context
+// before claiming each task, so on cancellation in-flight tasks finish,
+// unclaimed tasks never start, and DoCtx returns ctx.Err() after every
+// worker has been joined. An un-cancelled DoCtx behaves exactly like Do
+// (tasks claimed in index order; first panic re-raised on the caller).
+func DoCtx(ctx context.Context, workers int, tasks ...func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	wrapped := make([]func(), len(tasks))
+	for i, t := range tasks {
+		t := t
+		wrapped[i] = func() {
+			if ctx.Err() != nil {
+				return
+			}
+			t()
+		}
+	}
+	Do(workers, wrapped...)
+	return ctx.Err()
+}
+
+// ReduceCtx is Reduce with cooperative cancellation: the fixed chunk grid
+// and ascending merge order are identical to Reduce's (bit-stable results
+// for any worker count), and the context is polled before each chunk's
+// partial accumulation. On cancellation the zero value of T and ctx.Err()
+// are returned after all workers have drained.
+func ReduceCtx[T any](ctx context.Context, n, workers int, makePartial func() T, body func(partial T, start, end int), merge func(into, from T) T) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	out := Reduce(n, workers, makePartial, func(partial T, start, end int) {
+		if ctx.Err() != nil {
+			return
+		}
+		body(partial, start, end)
+	}, merge)
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	return out, nil
+}

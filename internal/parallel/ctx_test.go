@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForCtxMatchesFor: an un-cancelled ForCtx must produce exactly the
+// same output as For for a kernel that partitions its output index space,
+// for a sweep of worker counts.
+func TestForCtxMatchesFor(t *testing.T) {
+	const n = 1337
+	want := make([]float64, n)
+	For(n, 4, func(start, end int) {
+		for i := start; i < end; i++ {
+			want[i] = float64(i) * 1.5
+		}
+	})
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		got := make([]float64, n)
+		if err := ForCtx(context.Background(), n, w, func(start, end int) {
+			for i := start; i < end; i++ {
+				got[i] = float64(i) * 1.5
+			}
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", w, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: output mismatch at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestForCtxCancelled: an already-cancelled context must return promptly
+// without invoking the body at all.
+func TestForCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	err := ForCtx(ctx, 1000, 4, func(start, end int) { calls.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("body invoked %d times on a cancelled context", calls.Load())
+	}
+}
+
+// TestForCtxDrains: cancelling mid-run stops new strips, completes strips
+// in flight, joins all workers before returning, and leaks no goroutines.
+func TestForCtxDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	err := ForCtx(ctx, 4096, 4, func(start, end int) {
+		if done.Add(int64(end-start)) > 64 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := done.Load(); n >= 4096 {
+		t.Fatalf("cancellation did not stop the loop: %d/%d items ran", n, 4096)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestDoCtxMatchesDo: un-cancelled DoCtx runs every task exactly once.
+func TestDoCtxMatchesDo(t *testing.T) {
+	ran := make([]atomic.Int64, 9)
+	tasks := make([]func(), len(ran))
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { ran[i].Add(1) }
+	}
+	if err := DoCtx(context.Background(), 3, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, ran[i].Load())
+		}
+	}
+}
+
+// TestDoCtxCancelled: a cancelled context skips unclaimed tasks and
+// surfaces the context error.
+func TestDoCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	err := DoCtx(ctx, 2, func() { calls.Add(1) }, func() { calls.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("tasks ran on a cancelled context")
+	}
+}
+
+// TestReduceCtxMatchesReduce: the ctx variant must be bit-identical to
+// Reduce for any worker count when not cancelled.
+func TestReduceCtxMatchesReduce(t *testing.T) {
+	const n = 997
+	body := func(p *float64, start, end int) {
+		for i := start; i < end; i++ {
+			*p += 1 / float64(i+1)
+		}
+	}
+	want := Reduce(n, 4,
+		func() *float64 { return new(float64) },
+		body,
+		func(into, from *float64) *float64 { *into += *from; return into })
+	for _, w := range []int{1, 2, 7, 32} {
+		got, err := ReduceCtx(context.Background(), n, w,
+			func() *float64 { return new(float64) },
+			body,
+			func(into, from *float64) *float64 { *into += *from; return into })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if *got != *want {
+			t.Fatalf("workers=%d: %v != %v (not bit-identical)", w, *got, *want)
+		}
+	}
+}
+
+// TestReduceCtxCancelled: a cancelled reduce returns the zero accumulator
+// and the context error.
+func TestReduceCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := ReduceCtx(ctx, 100, 4,
+		func() int { return 0 },
+		func(p int, start, end int) {},
+		func(into, from int) int { return into + from })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != 0 {
+		t.Fatalf("got %d, want zero value on cancellation", got)
+	}
+}
+
+// TestForCtxPanicPropagates: worker panics surface on the caller like For.
+func TestForCtxPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected re-raised worker panic")
+		}
+	}()
+	_ = ForCtx(context.Background(), 64, 4, func(start, end int) {
+		panic("boom")
+	})
+}
+
+// waitForGoroutines polls until the goroutine count settles back to
+// (near) the baseline; shared by the drain tests.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+}

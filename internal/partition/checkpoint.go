@@ -1,0 +1,115 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Checkpoint configures crash-safe persistence of a simulation campaign's
+// progress to an internal/store catalog. Completed simulations are
+// persisted periodically during the fan-out (atomic temp+rename+CRC
+// writes, so a kill at any instant leaves either the previous or the new
+// checkpoint intact — never a corrupt one), and a resumed campaign skips
+// every simulation the checkpoint already holds.
+//
+// One sub-ensemble's completed set is stored under `<prefix>-sims`
+// (prefix "sub1"/"sub2" for the PF-partitioned pair), tagged with the
+// caller's Fingerprint: a checkpoint written by a different configuration
+// (different system, resolution, densities, seed, …) never pollutes a
+// resumed run — it is ignored and overwritten.
+type Checkpoint struct {
+	// Store is the catalog to persist into.
+	Store *store.Store
+	// Fingerprint identifies the generating configuration. Resume only
+	// trusts checkpoints whose stored fingerprint matches exactly.
+	Fingerprint string
+	// Every is the number of newly completed simulations between
+	// checkpoint saves (default 64). Lower values tighten the crash
+	// window at the cost of more (atomic, whole-set) writes.
+	Every int
+	// Resume loads previously completed simulations and skips re-running
+	// them.
+	Resume bool
+}
+
+// objectName returns the catalog object holding one sub-campaign's set.
+func (c *Checkpoint) objectName(prefix string) string { return prefix + "-sims" }
+
+// ckptSession is the mutable per-sub-campaign state: the completed map,
+// the dirty counter, and the restored set.
+type ckptSession struct {
+	ck   *Checkpoint
+	name string
+
+	mu        sync.Mutex
+	done      map[int][]float64
+	restored  map[int][]float64
+	sinceSave int
+}
+
+// session opens (and, with Resume, restores) the checkpoint state for one
+// sub-campaign. A missing, corrupt, or fingerprint-mismatched checkpoint
+// is treated as absent: the campaign starts fresh and overwrites it.
+func (c *Checkpoint) session(prefix string) *ckptSession {
+	s := &ckptSession{ck: c, name: c.objectName(prefix), done: make(map[int][]float64)}
+	if !c.Resume {
+		return s
+	}
+	fp, sims, err := c.Store.LoadSimSet(s.name)
+	switch {
+	case err == nil && fp == c.Fingerprint:
+		s.restored = sims
+		for k, v := range sims {
+			s.done[k] = v
+		}
+	case err == nil || errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrCorrupt):
+		// Absent, stale, or damaged checkpoint: start fresh.
+	default:
+		// Unexpected I/O errors also degrade to a fresh start; the
+		// campaign itself is the source of truth.
+	}
+	return s
+}
+
+// note records one completed simulation and saves the set every Every
+// completions. Returns the first save error (the campaign surfaces it:
+// silently losing checkpoint durability would defeat the point).
+func (s *ckptSession) note(key int, cells []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done[key] = cells
+	s.sinceSave++
+	every := s.ck.Every
+	if every <= 0 {
+		every = 64
+	}
+	if s.sinceSave < every {
+		return nil
+	}
+	s.sinceSave = 0
+	return s.save()
+}
+
+// flush persists the current completed set unconditionally. Called at
+// campaign end and on cancellation, so a cooperatively cancelled run
+// checkpoints everything it finished.
+func (s *ckptSession) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sinceSave == 0 && len(s.done) == len(s.restored) {
+		return nil // nothing new since restore
+	}
+	s.sinceSave = 0
+	return s.save()
+}
+
+// save writes the set under the session's lock.
+func (s *ckptSession) save() error {
+	if err := s.ck.Store.SaveSimSet(s.name, s.ck.Fingerprint, s.done); err != nil {
+		return fmt.Errorf("partition: checkpoint save: %w", err)
+	}
+	return nil
+}

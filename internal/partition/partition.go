@@ -8,6 +8,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -138,6 +139,9 @@ type SubEnsemble struct {
 	Tensor *tensor.Sparse
 	// NumSims is the number of simulation runs this sub-ensemble cost.
 	NumSims int
+	// Stats accounts for executed/restored/retried/failed simulations and
+	// quarantined cells of this sub-campaign.
+	Stats SimStats
 }
 
 // Result is a PF-partitioned, sampled pair of sub-ensembles.
@@ -156,6 +160,8 @@ type Result struct {
 	// NumSims is the total simulation budget spent across both
 	// sub-ensembles.
 	NumSims int
+	// Stats aggregates both sub-campaigns' fault-tolerance accounting.
+	Stats SimStats
 }
 
 // allConfigs enumerates every index combination over the given original
@@ -208,7 +214,20 @@ func sampleConfigs(all [][]int, frac float64, rng *rand.Rand) [][]int {
 // Generate PF-partitions the space per cfg and simulates both
 // sub-ensembles. Both sub-systems share the same sampled pivot
 // configurations; free configurations are sampled independently.
+//
+// Generate is the infallible entry point (background context, no retry
+// policy override, no checkpointing); fault-tolerant campaigns use
+// GenerateCtx.
 func Generate(space *ensemble.Space, cfg Config, rng *rand.Rand) (*Result, error) {
+	return GenerateCtx(context.Background(), space, cfg, rng, SimOptions{})
+}
+
+// GenerateCtx is Generate with cooperative cancellation, per-simulation
+// retry, divergence quarantine, and optional checkpoint/resume. The rng
+// consumption order is identical to Generate's, so a resumed campaign
+// samples exactly the same configurations as the interrupted one (given
+// the same seed) and reassembles a bit-identical pair of sub-tensors.
+func GenerateCtx(ctx context.Context, space *ensemble.Space, cfg Config, rng *rand.Rand, opts SimOptions) (*Result, error) {
 	if err := cfg.Validate(space.Order()); err != nil {
 		return nil, err
 	}
@@ -216,10 +235,16 @@ func Generate(space *ensemble.Space, cfg Config, rng *rand.Rand) (*Result, error
 	free1Configs := sampleConfigs(allConfigs(space, cfg.Free1), cfg.FreeFrac, rng)
 	free2Configs := sampleConfigs(allConfigs(space, cfg.Free2), cfg.FreeFrac, rng)
 
-	sub1 := buildSub(space, cfg.Pivots, cfg.Free1, pivotConfigs, free1Configs)
-	sub2 := buildSub(space, cfg.Pivots, cfg.Free2, pivotConfigs, free2Configs)
+	sub1, err := buildSub(ctx, space, cfg.Pivots, cfg.Free1, pivotConfigs, free1Configs, opts, "sub1")
+	if err != nil {
+		return nil, err
+	}
+	sub2, err := buildSub(ctx, space, cfg.Pivots, cfg.Free2, pivotConfigs, free2Configs, opts, "sub2")
+	if err != nil {
+		return nil, err
+	}
 
-	return &Result{
+	res := &Result{
 		Space:        space,
 		Config:       cfg,
 		Sub1:         sub1,
@@ -228,7 +253,10 @@ func Generate(space *ensemble.Space, cfg Config, rng *rand.Rand) (*Result, error
 		Free1Configs: free1Configs,
 		Free2Configs: free2Configs,
 		NumSims:      sub1.NumSims + sub2.NumSims,
-	}, nil
+	}
+	res.Stats.add(sub1.Stats)
+	res.Stats.add(sub2.Stats)
+	return res, nil
 }
 
 // buildSub simulates one sub-system over the selected pivot × free
@@ -236,7 +264,14 @@ func Generate(space *ensemble.Space, cfg Config, rng *rand.Rand) (*Result, error
 // (parameters at the grid midpoint, time at the midpoint stamp). Each
 // distinct parameter combination is simulated once; all requested cells
 // are then read off its trajectory.
-func buildSub(space *ensemble.Space, pivots, free []int, pivotConfigs, freeConfigs [][]int) *SubEnsemble {
+//
+// Fault tolerance: failed simulations contribute no cells (they lower the
+// effective density instead of poisoning the tensor), and non-finite cell
+// values from divergent-but-completed runs are quarantined at Append.
+// Assembly iterates keys in sorted order regardless of which simulations
+// were restored vs executed, so a resumed campaign's sub-tensor is laid
+// out bit-identically to an uninterrupted one.
+func buildSub(ctx context.Context, space *ensemble.Space, pivots, free []int, pivotConfigs, freeConfigs [][]int, opts SimOptions, ckptName string) (*SubEnsemble, error) {
 	modes := append(append([]int(nil), pivots...), free...)
 	shape := space.Shape()
 	subShape := make(tensor.Shape, len(modes))
@@ -296,13 +331,24 @@ func buildSub(space *ensemble.Space, pivots, free []int, pivotConfigs, freeConfi
 		keys = append(keys, k)
 	}
 	sort.Ints(keys) // deterministic tensor layout
-	cells := simulateAll(space, keys, simIdxOf)
+	cells, stats, err := simulateAll(ctx, space, keys, simIdxOf, opts, ckptName)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %s simulation fan-out: %w", ckptName, err)
+	}
+	// Divergence quarantine: non-finite cells from divergent solver runs
+	// are dropped at ingest and counted, never stored.
+	sub.Tensor.RejectNonFinite = true
 	for _, k := range keys {
-		traj := cells[k]
+		traj, ok := cells[k]
+		if !ok {
+			continue // failed simulation: cells absent by design
+		}
 		for _, req := range bySim[k] {
 			sub.Tensor.Append(req.subIdx, traj[req.tIdx])
 		}
 	}
+	stats.QuarantinedCells = sub.Tensor.Rejected
 	sub.NumSims = len(keys)
-	return sub
+	sub.Stats = stats
+	return sub, nil
 }

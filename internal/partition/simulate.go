@@ -1,37 +1,153 @@
 package partition
 
 import (
-	"runtime"
+	"context"
 	"sync"
 
 	"repro/internal/ensemble"
+	"repro/internal/faults"
+	"repro/internal/parallel"
 )
 
+// SimOptions configures the simulation fan-out of a PF-partitioned
+// campaign: worker count, retry policy for transient solver failures, and
+// optional crash-safe checkpointing.
+type SimOptions struct {
+	// Workers is the worker count for the fan-out (0 = GOMAXPROCS, see
+	// parallel.Resolve).
+	Workers int
+	// Retry governs re-execution of transiently failing simulations.
+	// The zero value means up to 3 attempts with the default backoff.
+	Retry faults.RetryPolicy
+	// Checkpoint, when non-nil, persists completed simulations
+	// periodically and (with Resume) skips previously completed ones.
+	Checkpoint *Checkpoint
+}
+
+// SimStats accounts for every simulation of one sub-campaign (or, on
+// Result, the whole campaign). The fault-tolerance invariant is that the
+// counters exactly cover the injected faults: a simulation is either
+// executed, restored from a checkpoint, or failed; retries and quarantined
+// cells are recorded on top.
+type SimStats struct {
+	// ExecutedSims is the number of simulations that ran to completion in
+	// this process (including ones that needed retries).
+	ExecutedSims int
+	// RestoredSims is the number of simulations skipped because a resumed
+	// checkpoint already held their results.
+	RestoredSims int
+	// RetriedSims is the number of executed simulations that needed more
+	// than one attempt.
+	RetriedSims int
+	// FailedSims is the number of simulations that exhausted their retry
+	// budget or crashed fatally; their cells are absent from the tensor.
+	FailedSims int
+	// QuarantinedCells is the number of non-finite cell values dropped at
+	// ingest (the divergence quarantine).
+	QuarantinedCells int
+}
+
+// add accumulates o into s.
+func (s *SimStats) add(o SimStats) {
+	s.ExecutedSims += o.ExecutedSims
+	s.RestoredSims += o.RestoredSims
+	s.RetriedSims += o.RetriedSims
+	s.FailedSims += o.FailedSims
+	s.QuarantinedCells += o.QuarantinedCells
+}
+
 // simulateAll runs the simulations identified by keys (parameter grid
-// indices in simIdxOf) in parallel and returns each simulation's
-// per-timestamp cell values.
-func simulateAll(space *ensemble.Space, keys []int, simIdxOf map[int][]int) map[int][]float64 {
-	space.Reference() // materialise before fan-out
-	out := make(map[int][]float64, len(keys))
+// indices in simIdxOf) on the shared worker pool and returns each
+// simulation's per-timestamp cell values. Failed simulations are absent
+// from the returned map (and counted in SimStats.FailedSims); restored
+// simulations are served from the checkpoint without re-execution.
+//
+// Cancellation is cooperative and deterministic: once ctx is cancelled no
+// new simulation starts, in-flight ones finish, completed work is flushed
+// to the checkpoint (if any), and ctx.Err() is returned.
+func simulateAll(ctx context.Context, space *ensemble.Space, keys []int, simIdxOf map[int][]int, opts SimOptions, ckptName string) (map[int][]float64, SimStats, error) {
+	var stats SimStats
 	results := make([][]float64, len(keys))
 
-	workers := runtime.NumCPU()
-	if workers > len(keys) {
-		workers = len(keys)
+	var sess *ckptSession
+	if opts.Checkpoint != nil {
+		sess = opts.Checkpoint.session(ckptName)
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(keys); i += workers {
-				results[i] = space.SimCells(simIdxOf[keys[i]])
-			}
-		}(w)
-	}
-	wg.Wait()
+
+	// Partition keys into restored (served from the checkpoint) and
+	// pending (to execute). Restore decisions are made up front so the
+	// fan-out body is uniform.
+	pending := make([]int, 0, len(keys))
 	for i, k := range keys {
-		out[k] = results[i]
+		if sess != nil {
+			if cells, ok := sess.restored[k]; ok {
+				results[i] = cells
+				stats.RestoredSims++
+				continue
+			}
+		}
+		pending = append(pending, i)
 	}
-	return out
+
+	if len(pending) > 0 {
+		space.Reference() // materialise before fan-out
+	}
+
+	var mu sync.Mutex
+	var ckptErr error
+	workers := opts.Workers
+	err := parallel.ForCtx(ctx, len(pending), workers, func(start, end int) {
+		for p := start; p < end; p++ {
+			i := pending[p]
+			k := keys[i]
+			var cells []float64
+			attempts, runErr := opts.Retry.Run(ctx, uint64(k), func(actx context.Context) error {
+				var cerr error
+				cells, cerr = space.SimCellsCtx(actx, simIdxOf[k])
+				return cerr
+			})
+			mu.Lock()
+			switch {
+			case runErr == nil:
+				results[i] = cells
+				stats.ExecutedSims++
+				if attempts > 1 {
+					stats.RetriedSims++
+				}
+				if sess != nil {
+					if err := sess.note(k, cells); err != nil && ckptErr == nil {
+						ckptErr = err
+					}
+				}
+			case ctx.Err() != nil:
+				// Campaign cancellation, not a simulation failure: the
+				// fan-out returns ctx.Err() and nothing is recorded.
+			default:
+				stats.FailedSims++
+			}
+			mu.Unlock()
+		}
+	})
+
+	// Flush completed work even on cancellation, so a cooperatively
+	// cancelled campaign checkpoints everything it finished.
+	if sess != nil {
+		if ferr := sess.flush(); ferr != nil && ckptErr == nil {
+			ckptErr = ferr
+		}
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	if ckptErr != nil {
+		return nil, stats, ckptErr
+	}
+
+	out := make(map[int][]float64, len(keys))
+	for i, k := range keys {
+		if results[i] != nil {
+			out[k] = results[i]
+		}
+	}
+	return out, stats, nil
 }

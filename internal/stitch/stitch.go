@@ -118,6 +118,12 @@ func stitch(res *partition.Result, zero bool) *tensor.Sparse {
 	cfg := res.Config
 	k := len(cfg.Pivots)
 	j := tensor.NewSparse(space.Shape())
+	// Divergence quarantine propagates through stitching: if either
+	// sub-ensemble rejects non-finite cells, the join does too, so a NaN
+	// that slipped past ingest (e.g. direct Vals mutation) is dropped at
+	// emission instead of averaging into the shared pivots and poisoning
+	// every matched pair of the pivot group.
+	j.RejectNonFinite = res.Sub1.Tensor.RejectNonFinite || res.Sub2.Tensor.RejectNonFinite
 
 	idx1 := buildIndex(res.Sub1)
 	idx2 := buildIndex(res.Sub2)

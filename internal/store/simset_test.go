@@ -1,0 +1,129 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSimSetRoundTrip(t *testing.T) {
+	s := testStore(t)
+	sims := map[int][]float64{
+		3:   {1.5, -2.25, 0},
+		11:  {0.125},
+		999: {},
+		42:  {3, 4, 5, 6},
+	}
+	if err := s.SaveSimSet("sub1-sims", "fp-v1", sims); err != nil {
+		t.Fatal(err)
+	}
+	fp, got, err := s.LoadSimSet("sub1-sims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "fp-v1" {
+		t.Fatalf("fingerprint = %q, want fp-v1", fp)
+	}
+	if !reflect.DeepEqual(got, sims) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, sims)
+	}
+}
+
+func TestSimSetOverwrite(t *testing.T) {
+	s := testStore(t)
+	if err := s.SaveSimSet("x", "a", map[int][]float64{1: {1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSimSet("x", "b", map[int][]float64{2: {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	fp, got, err := s.LoadSimSet("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "b" || len(got) != 1 || got[2] == nil {
+		t.Fatalf("overwrite not atomic/latest: fp=%q got=%v", fp, got)
+	}
+}
+
+func TestSimSetNotFound(t *testing.T) {
+	s := testStore(t)
+	if _, _, err := s.LoadSimSet("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestSimSetCorruptionDetected(t *testing.T) {
+	s := testStore(t)
+	if err := s.SaveSimSet("victim", "fp", map[int][]float64{7: {1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("victim")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the CRC footer must catch it.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadSimSet("victim"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt after bit flip, got %v", err)
+	}
+}
+
+func TestSimSetTruncationDetected(t *testing.T) {
+	s := testStore(t)
+	if err := s.SaveSimSet("victim", "fp", map[int][]float64{7: {1, 2, 3}, 9: {4}}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("victim")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadSimSet("victim"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt after truncation, got %v", err)
+	}
+}
+
+func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSimSet("keep", "fp", map[int][]float64{1: {1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Plant orphaned temp files as a crashed writer would leave them.
+	for _, name := range []string{".tmp-keep-123", ".tmp-dead-9"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("re-open with orphaned temp files: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) >= 5 && e.Name()[:5] == ".tmp-" {
+			t.Fatalf("orphaned temp file %q survived Open", e.Name())
+		}
+	}
+	// The durable object is untouched.
+	fp, got, err := s2.LoadSimSet("keep")
+	if err != nil || fp != "fp" || got[1] == nil {
+		t.Fatalf("durable object damaged by sweep: fp=%q got=%v err=%v", fp, got, err)
+	}
+}

@@ -40,6 +40,7 @@ const (
 	kindSparse = uint8(1)
 	kindDense  = uint8(2)
 	kindTucker = uint8(3)
+	kindSimSet = uint8(4)
 )
 
 // ErrCorrupt is returned when a file fails checksum or structural
@@ -54,10 +55,24 @@ type Store struct {
 	dir string
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a store rooted at dir. Orphaned
+// temporary files left behind by a crash mid-write (the atomic
+// temp+rename protocol means a partially written `.tmp-*` file is the
+// only possible debris — named objects are always complete) are swept on
+// open, so a catalog that survived a kill -9 comes back clean.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+			// Best-effort: a concurrent writer may have renamed it away.
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
 	}
 	return &Store{dir: dir}, nil
 }
@@ -406,6 +421,91 @@ func (s *Store) LoadDense(name string) (*tensor.Dense, error) {
 		return nil
 	})
 	return out, err
+}
+
+// SaveSimSet stores a completed-simulation set — the checkpoint unit of
+// the fault-tolerant pipeline runtime: a fingerprint identifying the
+// generating configuration plus each completed simulation's per-timestamp
+// cell values, keyed by the simulation's parameter-grid key. Entries are
+// written in ascending key order so identical sets produce identical
+// bytes, and the file inherits the store's atomic temp+rename+CRC
+// protocol: a crash mid-save can never corrupt the previous checkpoint.
+func (s *Store) SaveSimSet(name, fingerprint string, sims map[int][]float64) error {
+	return s.writeFile(name, kindSimSet, func(w io.Writer) error {
+		fp := []byte(fingerprint)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(fp))); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := w.Write(fp); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		keys := make([]int, 0, len(sims))
+		for k := range sims {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(keys))); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, k := range keys {
+			cells := sims[k]
+			if err := binary.Write(w, binary.LittleEndian, uint64(k)); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(cells))); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			if err := binary.Write(w, binary.LittleEndian, cells); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// LoadSimSet reads a simulation set saved with SaveSimSet, returning its
+// configuration fingerprint and completed-simulation map.
+func (s *Store) LoadSimSet(name string) (string, map[int][]float64, error) {
+	var (
+		fingerprint string
+		sims        map[int][]float64
+	)
+	err := s.readFile(name, kindSimSet, func(r io.Reader) error {
+		var fpLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &fpLen); err != nil || fpLen > 1<<16 {
+			return ErrCorrupt
+		}
+		fp := make([]byte, fpLen)
+		if _, err := io.ReadFull(r, fp); err != nil {
+			return ErrCorrupt
+		}
+		fingerprint = string(fp)
+		var count uint64
+		if err := binary.Read(r, binary.LittleEndian, &count); err != nil || count > 1<<40 {
+			return ErrCorrupt
+		}
+		sims = make(map[int][]float64, count)
+		for i := uint64(0); i < count; i++ {
+			var key uint64
+			if err := binary.Read(r, binary.LittleEndian, &key); err != nil || key > 1<<62 {
+				return ErrCorrupt
+			}
+			var n uint32
+			if err := binary.Read(r, binary.LittleEndian, &n); err != nil || n > 1<<30 {
+				return ErrCorrupt
+			}
+			cells := make([]float64, n)
+			if err := binary.Read(r, binary.LittleEndian, cells); err != nil {
+				return ErrCorrupt
+			}
+			sims[int(key)] = cells
+		}
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return fingerprint, sims, nil
 }
 
 // SaveDecomposition stores a Tucker decomposition (core plus factors).

@@ -22,6 +22,15 @@ type Sparse struct {
 	Idx   []int
 	Vals  []float64
 
+	// RejectNonFinite makes Append drop NaN/±Inf values instead of storing
+	// them, counting each drop in Rejected. This is the divergence
+	// quarantine of the fault-tolerant pipeline runtime: divergent solver
+	// output is excluded at ingest so it can never poison Gram matrices or
+	// average into stitched pivots.
+	RejectNonFinite bool
+	// Rejected counts values dropped by RejectNonFinite.
+	Rejected int
+
 	// gen is the mutation generation; cached plans are valid only while
 	// their recorded generation matches.
 	gen uint64
@@ -44,6 +53,8 @@ func (s *Sparse) NNZ() int { return len(s.Vals) }
 func (s *Sparse) Order() int { return s.Shape.Order() }
 
 // Append adds an entry at the multi-index (copied). Bounds are checked.
+// With RejectNonFinite set, NaN/±Inf values are quarantined (dropped and
+// counted in Rejected) instead of stored.
 func (s *Sparse) Append(idx []int, v float64) {
 	if len(idx) != s.Order() {
 		panic(fmt.Sprintf("tensor: Append index order %d != %d", len(idx), s.Order()))
@@ -53,10 +64,17 @@ func (s *Sparse) Append(idx []int, v float64) {
 			panic(fmt.Sprintf("tensor: Append index %v out of range for shape %v", idx, s.Shape))
 		}
 	}
+	if s.RejectNonFinite && !isFinite(v) {
+		s.Rejected++
+		return
+	}
 	s.Idx = append(s.Idx, idx...)
 	s.Vals = append(s.Vals, v)
 	s.InvalidatePlans()
 }
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Entry returns the multi-index slice (aliasing internal storage; do not
 // mutate) and value of the e-th stored entry.
@@ -93,11 +111,14 @@ func (s *Sparse) Density() float64 {
 	return float64(s.NNZ()) / float64(total)
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (including the quarantine configuration and
+// accounting).
 func (s *Sparse) Clone() *Sparse {
 	out := NewSparse(s.Shape)
 	out.Idx = append([]int(nil), s.Idx...)
 	out.Vals = append([]float64(nil), s.Vals...)
+	out.RejectNonFinite = s.RejectNonFinite
+	out.Rejected = s.Rejected
 	return out
 }
 

@@ -1,0 +1,99 @@
+package tucker
+
+import (
+	"context"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// HOOICtx is HOOI with cooperative cancellation. The context is polled
+// between whole mode updates and between sweeps — never inside a kernel —
+// so a cancelled HOOI stops at a consistent point: any kernel it started
+// has finished, all pool workers are joined, and no partially written
+// factor escapes (the Decomposition returned with a non-nil error is the
+// zero value). An un-cancelled HOOICtx is bit-identical to HOOI.
+func HOOICtx(ctx context.Context, x *tensor.Sparse, ranks []int, opts HOOIOptions) (Decomposition, error) {
+	opts = opts.normalize()
+	ranks = ClipRanks(x.Shape, ranks)
+	order := x.Order()
+	w := opts.Workers
+
+	if err := ctx.Err(); err != nil {
+		return Decomposition{}, err
+	}
+
+	// Initialise from HOSVD.
+	dec := HOSVDWorkers(x, ranks, w)
+	factors := dec.Factors
+
+	// All TTM chains inside the sweeps run on one reusable workspace: the
+	// two ping-pong buffers are sized on the first sweep and reused by
+	// every later mode update and energy check, so steady-state sweeps
+	// allocate nothing in the dense TTM chain. Workspace results alias the
+	// buffers; the returned core is cloned out below.
+	ws := tensor.NewWorkspace()
+	ms := make([]*mat.Matrix, order)
+
+	prevEnergy := dec.Core.Norm()
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		for n := 0; n < order; n++ {
+			if err := ctx.Err(); err != nil {
+				return Decomposition{}, err
+			}
+			// Project through every factor except mode n.
+			for k := 0; k < order; k++ {
+				if k != n {
+					ms[k] = mat.Transpose(factors[k])
+				} else {
+					ms[k] = nil
+				}
+			}
+			y := ws.MultiTTMSparseWorkers(x, ms, w)
+			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(y, n, w), ranks[n])
+		}
+		if err := ctx.Err(); err != nil {
+			return Decomposition{}, err
+		}
+		core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
+		energy := core.Norm()
+		if energy-prevEnergy <= opts.Tolerance*(prevEnergy+1e-300) {
+			return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}, nil
+		}
+		prevEnergy = energy
+	}
+	core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
+	return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}, nil
+}
+
+// STHOSVDCtx is STHOSVDWorkers with cooperative cancellation, polled
+// between the sequential mode steps (each step's Gram/eigen/TTM kernels
+// always run to completion). An un-cancelled STHOSVDCtx is bit-identical
+// to STHOSVDWorkers.
+func STHOSVDCtx(ctx context.Context, x *tensor.Sparse, ranks []int, workers int) (Decomposition, error) {
+	ranks = ClipRanks(x.Shape, ranks)
+	order := x.Order()
+	factors := make([]*mat.Matrix, order)
+
+	if err := ctx.Err(); err != nil {
+		return Decomposition{}, err
+	}
+
+	// The projection chain ping-pongs on a reusable workspace; the final
+	// core is cloned out because workspace results alias its buffers.
+	ws := tensor.NewWorkspace()
+
+	// Mode 0 from the sparse tensor.
+	factors[0] = tensor.LeadingModeVectorsWorkers(x, 0, ranks[0], workers)
+	cur := ws.TTMSparseWorkers(x, 0, mat.Transpose(factors[0]), workers)
+
+	// Remaining modes from the shrinking dense tensor.
+	for n := 1; n < order; n++ {
+		if err := ctx.Err(); err != nil {
+			return Decomposition{}, err
+		}
+		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(cur, n, workers), ranks[n])
+		cur = ws.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
+	}
+	return Decomposition{Core: cur.Clone(), Factors: factors, Ranks: ranks}, nil
+}

@@ -1,6 +1,7 @@
 package tucker
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,47 +46,17 @@ func (o HOOIOptions) normalize() HOOIOptions {
 // HOSVD remains the building block the paper's M2TD uses; HOOI is provided
 // as the natural quality upgrade for standalone Tucker decompositions of
 // ensemble tensors.
+//
+// HOOI is the infallible entry point; cancellable decompositions use
+// HOOICtx (bit-identical when not cancelled).
 func HOOI(x *tensor.Sparse, ranks []int, opts HOOIOptions) Decomposition {
-	opts = opts.normalize()
-	ranks = ClipRanks(x.Shape, ranks)
-	order := x.Order()
-	w := opts.Workers
-
-	// Initialise from HOSVD.
-	dec := HOSVDWorkers(x, ranks, w)
-	factors := dec.Factors
-
-	// All TTM chains inside the sweeps run on one reusable workspace: the
-	// two ping-pong buffers are sized on the first sweep and reused by
-	// every later mode update and energy check, so steady-state sweeps
-	// allocate nothing in the dense TTM chain. Workspace results alias the
-	// buffers; the returned core is cloned out below.
-	ws := tensor.NewWorkspace()
-	ms := make([]*mat.Matrix, order)
-
-	prevEnergy := dec.Core.Norm()
-	for iter := 0; iter < opts.MaxIterations; iter++ {
-		for n := 0; n < order; n++ {
-			// Project through every factor except mode n.
-			for k := 0; k < order; k++ {
-				if k != n {
-					ms[k] = mat.Transpose(factors[k])
-				} else {
-					ms[k] = nil
-				}
-			}
-			y := ws.MultiTTMSparseWorkers(x, ms, w)
-			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(y, n, w), ranks[n])
-		}
-		core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
-		energy := core.Norm()
-		if energy-prevEnergy <= opts.Tolerance*(prevEnergy+1e-300) {
-			return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}
-		}
-		prevEnergy = energy
+	dec, err := HOOICtx(context.Background(), x, ranks, opts)
+	if err != nil {
+		// Background contexts are never cancelled; HOOICtx has no other
+		// error path.
+		panic(fmt.Sprintf("tucker: HOOI on background context failed: %v", err))
 	}
-	core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
-	return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}
+	return dec
 }
 
 // HOOIDense runs HOOI on a dense tensor.

@@ -1,6 +1,9 @@
 package tucker
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/mat"
 	"repro/internal/tensor"
 )
@@ -25,24 +28,13 @@ func STHOSVD(x *tensor.Sparse, ranks []int) Decomposition { return STHOSVDWorker
 // every kernel preserves the serial floating-point order — bit-identical
 // results for any worker count.
 func STHOSVDWorkers(x *tensor.Sparse, ranks []int, workers int) Decomposition {
-	ranks = ClipRanks(x.Shape, ranks)
-	order := x.Order()
-	factors := make([]*mat.Matrix, order)
-
-	// The projection chain ping-pongs on a reusable workspace; the final
-	// core is cloned out because workspace results alias its buffers.
-	ws := tensor.NewWorkspace()
-
-	// Mode 0 from the sparse tensor.
-	factors[0] = tensor.LeadingModeVectorsWorkers(x, 0, ranks[0], workers)
-	cur := ws.TTMSparseWorkers(x, 0, mat.Transpose(factors[0]), workers)
-
-	// Remaining modes from the shrinking dense tensor.
-	for n := 1; n < order; n++ {
-		factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(cur, n, workers), ranks[n])
-		cur = ws.TTMWorkers(cur, n, mat.Transpose(factors[n]), workers)
+	dec, err := STHOSVDCtx(context.Background(), x, ranks, workers)
+	if err != nil {
+		// Background contexts are never cancelled; STHOSVDCtx has no
+		// other error path.
+		panic(fmt.Sprintf("tucker: STHOSVD on background context failed: %v", err))
 	}
-	return Decomposition{Core: cur.Clone(), Factors: factors, Ranks: ranks}
+	return dec
 }
 
 // STHOSVDDense runs the sequentially truncated HOSVD on a dense tensor.

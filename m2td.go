@@ -31,6 +31,7 @@
 package m2td
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,8 +43,10 @@ import (
 	"repro/internal/dynsys"
 	"repro/internal/ensemble"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/partition"
 	"repro/internal/stitch"
+	"repro/internal/store"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
@@ -98,6 +101,33 @@ type Config struct {
 	Factored bool
 	// Seed drives all sampling randomness (default 1).
 	Seed int64
+
+	// SimTimeout bounds the simulation stage (partition fan-out or
+	// baseline encoding) with a per-stage deadline; 0 means no limit. On
+	// expiry the stage drains cooperatively, flushes any checkpoint, and
+	// the run fails with a wrapped context.DeadlineExceeded.
+	SimTimeout time.Duration
+	// DecompTimeout bounds the decomposition stage; 0 means no limit.
+	DecompTimeout time.Duration
+	// Retry is the per-simulation retry policy for transient failures.
+	// The zero value means up to 3 attempts with default backoff.
+	Retry faults.RetryPolicy
+	// Faults, when non-nil, wraps the dynamical system with the seeded
+	// deterministic fault-injection harness — transient errors, divergent
+	// (non-finite) trajectories, panics, and latency at the configured
+	// rates. The run's Report then carries the exact failure accounting.
+	Faults *faults.Config
+	// CheckpointDir, when non-empty, enables crash-safe persistence of
+	// completed simulations into an internal/store catalog at that
+	// directory (atomic temp+rename+CRC writes).
+	CheckpointDir string
+	// CheckpointEvery is the number of completed simulations between
+	// checkpoint saves (default 64).
+	CheckpointEvery int
+	// Resume loads a compatible checkpoint from CheckpointDir and skips
+	// every simulation it already holds. Checkpoints written by a
+	// different configuration are ignored.
+	Resume bool
 }
 
 // Report is the outcome of a pipeline run.
@@ -117,6 +147,27 @@ type Report struct {
 	// Space is the underlying parameter space (exposes the shape, ground
 	// truth, and mode names).
 	Space *ensemble.Space
+
+	// Fault-tolerance accounting (see faults and partition). Every
+	// simulation of the campaign is either executed, restored from a
+	// checkpoint, or failed; retried simulations and quarantined cells
+	// are recorded on top, so the counters exactly cover every injected
+	// or natural fault.
+	ExecutedSims     int
+	RestoredSims     int
+	RetriedSims      int
+	FailedSims       int
+	QuarantinedCells int
+	// EffectiveDensity1/2 are the sub-ensembles' stored-cell densities
+	// after failures and quarantine (degraded relative to the sampled
+	// density when simulations were lost).
+	EffectiveDensity1, EffectiveDensity2 float64
+	// FaultStats snapshots the injector's accounting when Config.Faults
+	// was set (nil otherwise).
+	FaultStats *faults.Stats
+	// Partition is the PF-partitioned pair the decomposition consumed
+	// (nil for Baseline runs).
+	Partition *partition.Result
 }
 
 // normalize fills config defaults.
@@ -173,14 +224,67 @@ func Systems() []string {
 	return out
 }
 
-// Run executes the full M2TD pipeline described by the config.
+// space returns the parameter space for the config and, when fault
+// injection is enabled, the injector wrapping its system. Fault-wrapped
+// runs always build a FRESH space: eval.SpaceFor caches spaces
+// process-wide, and an injector must never leak into other runs' cached
+// references or ground truths.
+func (c Config) space() (*ensemble.Space, *faults.Injector, error) {
+	if c.Faults == nil {
+		sp, err := eval.SpaceFor(c.System, c.Resolution, c.TimeSamples)
+		return sp, nil, err
+	}
+	sys, err := dynsys.ByName(c.System)
+	if err != nil {
+		return nil, nil, err
+	}
+	inj := faults.New(*c.Faults)
+	return ensemble.NewSpace(inj.Wrap(sys), c.Resolution, c.TimeSamples), inj, nil
+}
+
+// fingerprint identifies the simulation-generating configuration for
+// checkpoint compatibility: any field that changes which simulations run,
+// their identities, or their outputs is included, so a resumed campaign
+// never trusts a checkpoint written by a different configuration.
+func (c Config) fingerprint(pivot int) string {
+	fp := fmt.Sprintf("v1|%s|res=%d|t=%d|pivot=%d|P=%g|E=%g|seed=%d",
+		c.System, c.Resolution, c.TimeSamples, pivot, c.PivotDensity, c.SubEnsembleDensity, c.Seed)
+	if c.Faults != nil {
+		f := c.Faults
+		fp += fmt.Sprintf("|faults=%d:%g:%d:%g:%g:%g:%s",
+			f.Seed, f.TransientRate, f.TransientAttempts, f.DivergentRate, f.PanicRate, f.LatencyRate, f.Latency)
+	}
+	return fp
+}
+
+// stageCtx derives a per-stage context: a deadline when the stage has a
+// timeout, a plain child otherwise.
+func stageCtx(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Run executes the full M2TD pipeline described by the config. It is
+// RunCtx on a background context — no cancellation, no stage deadlines
+// beyond those in the config.
 func Run(cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes the full M2TD pipeline with cooperative cancellation:
+// when ctx is cancelled (or a configured stage deadline expires) the
+// pipeline stops at the next stage boundary — in-flight simulations and
+// kernels finish, workers are joined, completed work is checkpointed —
+// and a wrapped context error identifying the stage is returned.
+func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.normalize()
 	method, err := cfg.method()
 	if err != nil {
 		return nil, err
 	}
-	space, err := eval.SpaceFor(cfg.System, cfg.Resolution, cfg.TimeSamples)
+	space, injector, err := cfg.space()
 	if err != nil {
 		return nil, err
 	}
@@ -211,52 +315,97 @@ func Run(cfg Config) (*Report, error) {
 	pcfg.PivotFrac = cfg.PivotDensity
 	pcfg.FreeFrac = cfg.SubEnsembleDensity
 
+	// Crash-safe checkpointing: completed simulations persist into an
+	// internal/store catalog, tagged with the config fingerprint.
+	var ck *partition.Checkpoint
+	if cfg.CheckpointDir != "" {
+		st, err := store.Open(cfg.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("m2td: checkpoint catalog: %w", err)
+		}
+		ck = &partition.Checkpoint{
+			Store:       st,
+			Fingerprint: cfg.fingerprint(pivot),
+			Every:       cfg.CheckpointEvery,
+			Resume:      cfg.Resume,
+		}
+	}
+
 	simStart := time.Now()
-	part, err := partition.Generate(space, pcfg, rand.New(rand.NewSource(cfg.Seed)))
+	sctx, cancelSim := stageCtx(ctx, cfg.SimTimeout)
+	part, err := partition.GenerateCtx(sctx, space, pcfg, rand.New(rand.NewSource(cfg.Seed)), partition.SimOptions{
+		Workers:    cfg.Parallel,
+		Retry:      cfg.Retry,
+		Checkpoint: ck,
+	})
+	cancelSim()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("m2td: simulation stage: %w", err)
 	}
 	simTime := time.Since(simStart)
 
 	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
 	opts := core.Options{Method: method, Ranks: ranks, ZeroJoin: cfg.ZeroJoin, Workers: cfg.Parallel}
+	dctx, cancelDecomp := stageCtx(ctx, cfg.DecompTimeout)
+	defer cancelDecomp()
 	var res *core.Result
 	switch {
 	case cfg.Workers > 0 && cfg.Factored:
 		return nil, fmt.Errorf("m2td: Factored and Workers are mutually exclusive")
 	case cfg.Workers > 0:
+		if err := dctx.Err(); err != nil {
+			return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
+		}
 		d, err := dist.Decompose(part, dist.Options{Options: opts, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		res = d.Result
 	case cfg.Factored:
+		if err := dctx.Err(); err != nil {
+			return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
+		}
 		res, err = core.DecomposeFactored(part, opts)
 		if err != nil {
 			return nil, err
 		}
 	default:
-		res, err = core.Decompose(part, opts)
+		res, err = core.DecomposeCtx(dctx, part, opts)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
 		}
 	}
+	cancelDecomp()
 
 	joinCells := 0
 	if res.Join != nil {
 		joinCells = res.Join.NNZ()
 	}
 	report := &Report{
-		Accuracy:      nan(),
-		NumSims:       part.NumSims,
-		JoinCells:     joinCells,
-		SimTime:       simTime,
-		DecompTime:    res.SubDecompTime + res.StitchTime + res.CoreTime,
-		Decomposition: res,
-		Space:         space,
+		Accuracy:          nan(),
+		NumSims:           part.NumSims,
+		JoinCells:         joinCells,
+		SimTime:           simTime,
+		DecompTime:        res.SubDecompTime + res.StitchTime + res.CoreTime,
+		Decomposition:     res,
+		Space:             space,
+		ExecutedSims:      part.Stats.ExecutedSims,
+		RestoredSims:      part.Stats.RestoredSims,
+		RetriedSims:       part.Stats.RetriedSims,
+		FailedSims:        part.Stats.FailedSims,
+		QuarantinedCells:  part.Stats.QuarantinedCells,
+		EffectiveDensity1: part.Sub1.Tensor.Density(),
+		EffectiveDensity2: part.Sub2.Tensor.Density(),
+		Partition:         part,
+	}
+	if injector != nil {
+		s := injector.Stats()
+		report.FaultStats = &s
 	}
 	switch {
 	case cfg.SkipAccuracy:
+	case ctx.Err() != nil:
+		return nil, fmt.Errorf("m2td: evaluation stage: %w", ctx.Err())
 	case cfg.AccuracySampleSims > 0:
 		model := eval.TuckerModel{Core: res.Core, Factors: res.Factors}
 		acc, err := eval.EstimateAccuracy(space, model, cfg.AccuracySampleSims, rand.New(rand.NewSource(cfg.Seed+100)))
@@ -276,8 +425,16 @@ func Run(cfg Config) (*Report, error) {
 // simulation budget and returns its accuracy and decomposition time: the
 // comparison target for Run.
 func Baseline(cfg Config, scheme string, budget int) (*Report, error) {
+	return BaselineCtx(context.Background(), cfg, scheme, budget)
+}
+
+// BaselineCtx is Baseline with cooperative cancellation and the
+// fault-tolerance runtime (retry, panic capture, divergence quarantine)
+// on the encoding fan-out. Stage deadlines follow Config.SimTimeout and
+// Config.DecompTimeout.
+func BaselineCtx(ctx context.Context, cfg Config, scheme string, budget int) (*Report, error) {
 	cfg = cfg.normalize()
-	space, err := eval.SpaceFor(cfg.System, cfg.Resolution, cfg.TimeSamples)
+	space, injector, err := cfg.space()
 	if err != nil {
 		return nil, err
 	}
@@ -295,24 +452,44 @@ func Baseline(cfg Config, scheme string, budget int) (*Report, error) {
 		return nil, fmt.Errorf("m2td: unknown baseline scheme %q", scheme)
 	}
 	simStart := time.Now()
-	se := ensemble.Encode(space, sims)
+	sctx, cancelSim := stageCtx(ctx, cfg.SimTimeout)
+	se, estats, err := ensemble.EncodeCtx(sctx, space, sims, ensemble.EncodeOptions{Workers: cfg.Parallel, Retry: cfg.Retry})
+	cancelSim()
+	if err != nil {
+		return nil, fmt.Errorf("m2td: simulation stage: %w", err)
+	}
 	simTime := time.Since(simStart)
 
 	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
+	}
 	dec := tucker.HOSVDWorkers(se.Tensor, ranks, cfg.Parallel)
 	decompTime := time.Since(start)
 
 	report := &Report{
-		Accuracy:   nan(),
-		NumSims:    len(sims),
-		JoinCells:  se.Tensor.NNZ(),
-		SimTime:    simTime,
-		DecompTime: decompTime,
-		Space:      space,
+		Accuracy:          nan(),
+		NumSims:           len(sims),
+		JoinCells:         se.Tensor.NNZ(),
+		SimTime:           simTime,
+		DecompTime:        decompTime,
+		Space:             space,
+		ExecutedSims:      estats.ExecutedSims,
+		RetriedSims:       estats.RetriedSims,
+		FailedSims:        estats.FailedSims,
+		QuarantinedCells:  estats.QuarantinedCells,
+		EffectiveDensity1: se.Tensor.Density(),
+		EffectiveDensity2: se.Tensor.Density(),
+	}
+	if injector != nil {
+		s := injector.Stats()
+		report.FaultStats = &s
 	}
 	switch {
 	case cfg.SkipAccuracy:
+	case ctx.Err() != nil:
+		return nil, fmt.Errorf("m2td: evaluation stage: %w", ctx.Err())
 	case cfg.AccuracySampleSims > 0:
 		model := eval.TuckerModel{Core: dec.Core, Factors: dec.Factors}
 		acc, err := eval.EstimateAccuracy(space, model, cfg.AccuracySampleSims, rand.New(rand.NewSource(cfg.Seed+100)))

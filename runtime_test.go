@@ -1,0 +1,249 @@
+package m2td
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// waitForGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing if the fan-out leaked workers.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := smallConfig()
+	cfg.SkipAccuracy = true
+	start := time.Now()
+	_, err := RunCtx(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled run took %v", d)
+	}
+	waitForGoroutines(t, base)
+}
+
+func TestRunCtxCancelledMidCampaign(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var attempts atomic.Int64
+	cfg := smallConfig()
+	cfg.SkipAccuracy = true
+	cfg.Faults = &faults.Config{Seed: 1, Hook: func() {
+		if attempts.Add(1) == 3 {
+			cancel()
+		}
+	}}
+	_, err := RunCtx(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+func TestRunSimTimeout(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SkipAccuracy = true
+	cfg.SimTimeout = time.Nanosecond
+	_, err := Run(cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from the simulation stage, got %v", err)
+	}
+}
+
+func TestRunFaultInjectionAccounting(t *testing.T) {
+	clean := smallConfig()
+	clean.SkipAccuracy = true
+	cleanReport, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance configuration: 10% transient + 2% divergent.
+	cfg := smallConfig()
+	cfg.SkipAccuracy = true
+	cfg.Faults = &faults.Config{Seed: 99, TransientRate: 0.10, DivergentRate: 0.02}
+	cfg.Retry = faults.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond}
+	report, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("fault-injected run must complete without error: %v", err)
+	}
+	if report.FaultStats == nil {
+		t.Fatal("FaultStats missing")
+	}
+	is := *report.FaultStats
+	if is.TransientSims == 0 || is.DivergentSims == 0 {
+		t.Fatalf("no faults injected (%+v); raise rates or change the seed", is)
+	}
+
+	// Every injected fault is accounted for, exactly:
+	// transient sims all recovered within the retry budget,
+	if report.FailedSims != 0 {
+		t.Fatalf("FailedSims = %d; transients should all recover", report.FailedSims)
+	}
+	if report.RetriedSims != is.TransientSims {
+		t.Fatalf("RetriedSims %d != injected transient sims %d", report.RetriedSims, is.TransientSims)
+	}
+	// divergent cells all quarantined (and nothing else lost),
+	cleanCells := cleanReport.Partition.Sub1.Tensor.NNZ() + cleanReport.Partition.Sub2.Tensor.NNZ()
+	gotCells := report.Partition.Sub1.Tensor.NNZ() + report.Partition.Sub2.Tensor.NNZ()
+	if report.QuarantinedCells == 0 || report.QuarantinedCells != cleanCells-gotCells {
+		t.Fatalf("QuarantinedCells %d != lost cells %d", report.QuarantinedCells, cleanCells-gotCells)
+	}
+	// and the effective density is degraded accordingly.
+	if report.EffectiveDensity1 >= cleanReport.EffectiveDensity1 && report.EffectiveDensity2 >= cleanReport.EffectiveDensity2 {
+		t.Fatalf("densities not degraded: %g/%g vs clean %g/%g",
+			report.EffectiveDensity1, report.EffectiveDensity2,
+			cleanReport.EffectiveDensity1, cleanReport.EffectiveDensity2)
+	}
+	if report.ExecutedSims != report.NumSims {
+		t.Fatalf("ExecutedSims %d != NumSims %d", report.ExecutedSims, report.NumSims)
+	}
+}
+
+func TestRunFaultInjectionWithoutRetriesFailsSims(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SkipAccuracy = true
+	cfg.Faults = &faults.Config{Seed: 99, TransientRate: 0.10}
+	cfg.Retry = faults.RetryPolicy{MaxAttempts: 1}
+	report, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := *report.FaultStats
+	if is.TransientSims == 0 {
+		t.Fatal("no transients injected; test is vacuous")
+	}
+	if report.FailedSims == 0 || report.RetriedSims != 0 {
+		t.Fatalf("MaxAttempts=1: want failures and no retries, got failed=%d retried=%d",
+			report.FailedSims, report.RetriedSims)
+	}
+	if report.ExecutedSims+report.FailedSims != report.NumSims {
+		t.Fatalf("executed %d + failed %d != %d sims", report.ExecutedSims, report.FailedSims, report.NumSims)
+	}
+}
+
+func TestRunResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// Uninterrupted reference pipeline (same seed, no checkpointing).
+	ref := smallConfig()
+	ref.SkipAccuracy = true
+	refReport, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Campaign 1: killed (cooperatively) mid-fan-out after 7 simulations.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var attempts1 atomic.Int64
+	cfg1 := smallConfig()
+	cfg1.SkipAccuracy = true
+	cfg1.CheckpointDir = dir
+	cfg1.CheckpointEvery = 1
+	cfg1.Faults = &faults.Config{Seed: 1, Hook: func() {
+		if attempts1.Add(1) == 7 {
+			cancel1()
+		}
+	}}
+	_, err = RunCtx(ctx1, cfg1)
+	cancel1()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign 1: want Canceled, got %v", err)
+	}
+
+	// Campaign 2: resumes from the checkpoint and completes.
+	var attempts2 atomic.Int64
+	cfg2 := smallConfig()
+	cfg2.SkipAccuracy = true
+	cfg2.CheckpointDir = dir
+	cfg2.CheckpointEvery = 1
+	cfg2.Resume = true
+	cfg2.Faults = &faults.Config{Seed: 1, Hook: func() { attempts2.Add(1) }}
+	report, err := RunCtx(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.RestoredSims == 0 {
+		t.Fatal("resume restored nothing")
+	}
+	if report.RestoredSims+report.ExecutedSims != report.NumSims {
+		t.Fatalf("restored %d + executed %d != %d sims",
+			report.RestoredSims, report.ExecutedSims, report.NumSims)
+	}
+	// Only the unfinished simulations re-ran.
+	if got := int(attempts2.Load()); got != report.ExecutedSims {
+		t.Fatalf("resumed campaign ran %d simulations, want exactly the %d unfinished ones",
+			got, report.ExecutedSims)
+	}
+	// The stitched join tensor is bit-identical to the uninterrupted run's.
+	refJoin, join := refReport.Decomposition.Join, report.Decomposition.Join
+	if !reflect.DeepEqual(join.Idx, refJoin.Idx) || !reflect.DeepEqual(join.Vals, refJoin.Vals) {
+		t.Fatal("resumed pipeline's join tensor is not bit-identical to the uninterrupted run's")
+	}
+}
+
+func TestRunResumeRejectsForeignCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.SkipAccuracy = true
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A different seed is a different campaign: its resume must ignore
+	// the existing checkpoint entirely.
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	cfg2.Resume = true
+	report, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.RestoredSims != 0 {
+		t.Fatalf("restored %d sims from a foreign checkpoint", report.RestoredSims)
+	}
+}
+
+func TestBaselineCtxFaultTolerant(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SkipAccuracy = true
+	cfg.Faults = &faults.Config{Seed: 13, TransientRate: 0.2, DivergentRate: 0.1}
+	cfg.Retry = faults.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond}
+	report, err := BaselineCtx(context.Background(), cfg, "random", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FaultStats == nil || report.FaultStats.TransientSims == 0 {
+		t.Fatalf("no transients observed: %+v", report.FaultStats)
+	}
+	if report.FailedSims != 0 {
+		t.Fatalf("recoverable faults failed %d sims", report.FailedSims)
+	}
+	if report.QuarantinedCells == 0 {
+		t.Fatal("divergent sims produced no quarantined cells")
+	}
+}
