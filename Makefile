@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke ci clean
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke trace-smoke ci clean
 
 all: build
 
@@ -42,7 +42,18 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzLinearIndexRoundtrip -fuzztime=10s ./internal/tensor
 	$(GO) test -run=NONE -fuzz=FuzzDedupPreservesSum -fuzztime=10s ./internal/tensor
 
-ci: build vet test race bench-smoke fuzz-smoke
+# Observability acceptance drill (mirrors the CI `obs` job): run a faulted
+# pipeline with a live metrics listener and a JSONL trace sink, assert the
+# shutdown self-scrape, and replay the trace through tracecat.
+trace-smoke:
+	$(GO) run ./cmd/m2tdbench -run -res 8 -fault-rate 0.1 -divergent-rate 0.02 \
+		-metrics-addr 127.0.0.1:0 -trace-out trace.jsonl 2> trace-run.stderr \
+		|| (cat trace-run.stderr; exit 1)
+	@grep -q "metrics scrape ok" trace-run.stderr
+	$(GO) run ./cmd/tracecat trace.jsonl
+	@rm -f trace.jsonl trace-run.stderr
+
+ci: build vet test race bench-smoke fuzz-smoke trace-smoke
 
 clean:
 	$(GO) clean ./...

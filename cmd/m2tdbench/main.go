@@ -68,9 +68,19 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "with -run: injected transient-failure rate per simulation (seeded, deterministic)")
 		divRate    = flag.Float64("divergent-rate", 0, "with -run: injected divergent (non-finite trajectory) rate per simulation")
 		faultSeed  = flag.Int64("fault-seed", 1, "with -run: fault-injection seed")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars, and /debug/pprof/ on this address for the process lifetime (e.g. 127.0.0.1:0 for a free port)")
+		traceOut    = flag.String("trace-out", "", "with -run: record a stage-span trace and write it as JSONL to this file (summarize with cmd/tracecat)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*par)
+
+	stopMetrics, err := startMetrics(*metricsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "m2tdbench:", err)
+		os.Exit(1)
+	}
+	defer stopMetrics()
 
 	if *runOne {
 		cfg := m2td.Config{
@@ -83,11 +93,13 @@ func main() {
 			Resume:             *resume,
 			SkipAccuracy:       *estim == 0 && firstInt(*res) > 24,
 			AccuracySampleSims: *estim,
+			Trace:              *traceOut != "",
 		}
 		if *faultRate > 0 || *divRate > 0 {
 			cfg.Faults = &faults.Config{Seed: *faultSeed, TransientRate: *faultRate, DivergentRate: *divRate}
 		}
-		if err := runPipeline(cfg, *timeout); err != nil {
+		if err := runPipeline(cfg, *timeout, *traceOut); err != nil {
+			stopMetrics()
 			fmt.Fprintln(os.Stderr, "m2tdbench:", err)
 			os.Exit(1)
 		}
@@ -140,7 +152,7 @@ func main() {
 // simulations finish, the checkpoint is flushed, and the run reports a
 // wrapped context error) and prints the report with its fault-tolerance
 // accounting.
-func runPipeline(cfg m2td.Config, timeout time.Duration) error {
+func runPipeline(cfg m2td.Config, timeout time.Duration, traceOut string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if timeout > 0 {
@@ -170,7 +182,7 @@ func runPipeline(cfg m2td.Config, timeout time.Duration) error {
 	fmt.Printf("sim %v, decomp %v, total %v\n",
 		report.SimTime.Round(time.Millisecond), report.DecompTime.Round(time.Millisecond),
 		time.Since(start).Round(time.Millisecond))
-	return nil
+	return writeTrace(traceOut, report)
 }
 
 // runSeeds executes the multi-seed sweep of the base configuration.

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	m2td "repro"
+)
+
+// startMetrics starts the metrics/pprof listener when addr is non-empty
+// ("127.0.0.1:0" picks a free port) and returns a shutdown closure. The
+// closure self-scrapes /metrics before closing and prints the sample
+// count to stderr, so CI can assert the endpoint served real exposition
+// without a second process.
+func startMetrics(addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := m2td.ServeMetrics(addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "m2tdbench: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr)
+	return func() {
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get("http://" + srv.Addr + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "m2tdbench: metrics scrape ok: %d samples\n", countSamples(body))
+		} else {
+			fmt.Fprintf(os.Stderr, "m2tdbench: metrics self-scrape failed: %v\n", err)
+		}
+		srv.Close()
+	}, nil
+}
+
+// countSamples counts Prometheus exposition sample lines (non-comment,
+// non-blank).
+func countSamples(exposition []byte) int {
+	n := 0
+	sc := bufio.NewScanner(bytes.NewReader(exposition))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}
+
+// writeTrace serializes the report's span trace as JSONL to path.
+func writeTrace(path string, report *m2td.Report) error {
+	if path == "" {
+		return nil
+	}
+	if report.Trace == nil {
+		return fmt.Errorf("trace output requested but the run recorded no trace")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if err := m2td.WriteTrace(f, report.Trace); err != nil {
+		f.Close()
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "m2tdbench: trace written to %s\n", path)
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/dynsys"
 	"repro/internal/ensemble"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -48,8 +49,18 @@ func main() {
 		seed     = flag.Int64("seed", 1, "sampling seed")
 		timeout  = flag.Duration("timeout", 0, "overall deadline; the run drains cooperatively on expiry or Ctrl-C (0 = none)")
 		faultRt  = flag.Float64("fault-rate", 0, "injected transient-failure rate per simulation (seeded, deterministic; retried with backoff)")
+		metrics  = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars, and /debug/pprof/ on this address (e.g. 127.0.0.1:0)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, err := obs.ServeMetrics(*metrics, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "simgen: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,0 +1,136 @@
+package m2td
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestCtxBuildingBlocksParity locks in the context-first facade contract:
+// the Ctx building blocks produce bit-identical results to the legacy
+// wrappers at any Parallel value (the wrappers are now thin delegates,
+// so this also guards against the validation paths diverging again).
+func TestCtxBuildingBlocksParity(t *testing.T) {
+	space, err := eval.SpaceFor("double-pendulum", 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	legacy, err := Partition(space, space.TimeMode(), 1, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionCtx(ctx, space, space.TimeMode(), PartitionOptions{FreeFrac: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumSims != legacy.NumSims {
+		t.Fatalf("PartitionCtx NumSims = %d, Partition = %d", part.NumSims, legacy.NumSims)
+	}
+
+	j, err := StitchCtx(ctx, part, StitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Stitch(legacy, false); j.NNZ() != want.NNZ() {
+		t.Fatalf("StitchCtx NNZ = %d, Stitch = %d", j.NNZ(), want.NNZ())
+	}
+
+	serial, err := DecomposeCtx(ctx, part, DecomposeOptions{Method: MethodSELECT, Rank: 2, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := DecomposeCtx(ctx, part, DecomposeOptions{Method: MethodSELECT, Rank: 2, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-identical across worker counts: same factors, same core cells.
+	for m := range serial.Factors {
+		a, b := serial.Factors[m], pooled.Factors[m]
+		if a.Rows != b.Rows || a.Cols != b.Cols {
+			t.Fatalf("factor %d shape mismatch", m)
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("factor %d differs at %d: %v vs %v (Parallel must not change results)", m, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+	if len(serial.Core.Data) != len(pooled.Core.Data) {
+		t.Fatalf("core size %d vs %d across Parallel", len(serial.Core.Data), len(pooled.Core.Data))
+	}
+	for i := range serial.Core.Data {
+		if serial.Core.Data[i] != pooled.Core.Data[i] {
+			t.Fatalf("core differs at %d across Parallel", i)
+		}
+	}
+}
+
+// TestCtxBuildingBlocksTrace routes a trace through all three building
+// blocks and asserts each contributed its stage span.
+func TestCtxBuildingBlocksTrace(t *testing.T) {
+	space, err := eval.SpaceFor("double-pendulum", 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	trace := NewTrace("custom")
+	part, err := PartitionCtx(ctx, space, space.TimeMode(), PartitionOptions{Seed: 3, Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StitchCtx(ctx, part, StitchOptions{ZeroJoin: true, Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecomposeCtx(ctx, part, DecomposeOptions{Rank: 2, Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	trace.Finish()
+	root := trace.Root()
+	for _, path := range [][]string{
+		{"partition", "sub1"},
+		{"stitch"},
+		{"decompose", "factors"},
+		{"decompose", "core"},
+	} {
+		if root.Find(path...) == nil {
+			t.Errorf("span %v missing:\n%s", path, root.Skeleton())
+		}
+	}
+	if got := root.Find("stitch").Counter("zero_join"); got != 1 {
+		t.Errorf("stitch zero_join counter = %d, want 1", got)
+	}
+}
+
+// TestCtxBuildingBlocksCancellation: a pre-cancelled context stops every
+// building block with a context error.
+func TestCtxBuildingBlocksCancellation(t *testing.T) {
+	space, err := eval.SpaceFor("double-pendulum", 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Partition(space, space.TimeMode(), 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PartitionCtx(ctx, space, space.TimeMode(), PartitionOptions{}); err == nil {
+		t.Error("PartitionCtx ignored cancelled context")
+	}
+	if _, err := StitchCtx(ctx, part, StitchOptions{}); err == nil {
+		t.Error("StitchCtx ignored cancelled context")
+	}
+	if _, err := DecomposeCtx(ctx, part, DecomposeOptions{}); err == nil {
+		t.Error("DecomposeCtx ignored cancelled context")
+	}
+}
+
+// TestDecomposeCtxRejectsBadMethod: typed-method validation happens in
+// the facade, before any work.
+func TestDecomposeCtxRejectsBadMethod(t *testing.T) {
+	if _, err := DecomposeCtx(context.Background(), nil, DecomposeOptions{Method: "bogus"}); err == nil {
+		t.Error("bogus method accepted")
+	}
+}

@@ -117,7 +117,7 @@ func TestFacadeMatchesEvalComparison(t *testing.T) {
 	// RunComparison on the same configuration and seeds.
 	cfg := smallConfig()
 	evalCfg := eval.Config{
-		System:      cfg.System,
+		System:      string(cfg.System),
 		Res:         cfg.Resolution,
 		TimeSamples: cfg.TimeSamples,
 		Rank:        cfg.Rank,

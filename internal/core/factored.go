@@ -55,10 +55,23 @@ func DecomposeFactored(p *partition.Result, opts Options) (*Result, error) {
 	k := len(cfg.Pivots)
 
 	start := time.Now()
-	factors := buildFactors(p, opts.Method, ranks, opts.Workers)
+	fspan := opts.Span.Start("factors")
+	fb1, fh1 := p.Sub1.Tensor.PlanStats()
+	fb2, fh2 := p.Sub2.Tensor.PlanStats()
+	fdone := fspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
+	factors := buildFactors(p, opts.Method, ranks, opts.Workers, fspan)
+	b1, h1 := p.Sub1.Tensor.PlanStats()
+	b2, h2 := p.Sub2.Tensor.PlanStats()
+	fspan.Set("plan_builds_x1", b1-fb1)
+	fspan.Set("plan_hits_x1", h1-fh1)
+	fspan.Set("plan_builds_x2", b2-fb2)
+	fspan.Set("plan_hits_x2", h2-fh2)
+	fdone()
 	subTime := time.Since(start)
 
 	start = time.Now()
+	cspan := opts.Span.Start("core")
+	cdone := cspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
 	// Project each sub-tensor through its own modes' factors; the two
 	// projections are independent and run concurrently on the shared pool.
 	var g1, g2 *tensor.Dense
@@ -79,6 +92,9 @@ func DecomposeFactored(p *partition.Result, opts Options) (*Result, error) {
 	}
 
 	coreT := assembleFactoredCore(cfg, ranks, k, g1, g2, s1, s2)
+	cspan.Set("cells", int64(len(coreT.Data)))
+	cspan.Set("factored", 1)
+	cdone()
 	coreTime := time.Since(start)
 
 	return &Result{

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/stitch"
@@ -65,6 +66,12 @@ type Options struct {
 	// 0 selects the parallel package default (GOMAXPROCS); 1 forces serial
 	// execution. Results are bit-identical for any worker count.
 	Workers int
+	// Span, when non-nil, is the decompose stage span: DecomposeCtx opens
+	// one child span per phase (factors, stitch, core), with one sub-span
+	// per original mode under factors (pivot modes carry x1/x2 kernel
+	// sub-spans). Span structure and counters are deterministic for any
+	// Workers value; a nil Span costs one nil check per site.
+	Span *obs.Span
 }
 
 // Result is an M2TD decomposition of the join tensor: Tucker factors in
@@ -118,8 +125,22 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 
 	// Phase 1: decompose the two low-order sub-tensors. Only the factor
 	// matrices are needed; Gram matrices are retained for CONCAT fusion.
+	// The phase span records each sub-tensor's kernel-plan cache deltas:
+	// builds and hits depend only on the kernel invocation sequence (never
+	// on Workers), so they are deterministic counters.
 	start := time.Now()
-	factors := buildFactors(p, opts.Method, ranks, opts.Workers)
+	fspan := opts.Span.Start("factors")
+	fb1, fh1 := p.Sub1.Tensor.PlanStats()
+	fb2, fh2 := p.Sub2.Tensor.PlanStats()
+	fdone := fspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
+	factors := buildFactors(p, opts.Method, ranks, opts.Workers, fspan)
+	b1, h1 := p.Sub1.Tensor.PlanStats()
+	b2, h2 := p.Sub2.Tensor.PlanStats()
+	fspan.Set("plan_builds_x1", b1-fb1)
+	fspan.Set("plan_hits_x1", h1-fh1)
+	fspan.Set("plan_builds_x2", b2-fb2)
+	fspan.Set("plan_hits_x2", h2-fh2)
+	fdone()
 	subTime := time.Since(start)
 
 	if err := ctx.Err(); err != nil {
@@ -128,12 +149,17 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 
 	// Phase 2: JE-stitching.
 	start = time.Now()
+	sspan := opts.Span.Start("stitch")
+	sdone := sspan.WithVitals(nil)
 	var j *tensor.Sparse
 	if opts.ZeroJoin {
 		j = stitch.ZeroJoin(p)
+		sspan.Set("zero_join", 1)
 	} else {
 		j = stitch.Join(p)
 	}
+	sspan.Set("join_nnz", int64(j.NNZ()))
+	sdone()
 	stitchTime := time.Since(start)
 
 	if err := ctx.Err(); err != nil {
@@ -142,7 +168,11 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 
 	// Phase 3: recover the core through the assembled factors.
 	start = time.Now()
+	cspan := opts.Span.Start("core")
+	cdone := cspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
 	coreT := tucker.CoreFromFactorsWorkers(j, factors, opts.Workers)
+	cspan.Set("cells", int64(len(coreT.Data)))
+	cdone()
 	coreTime := time.Since(start)
 
 	return &Result{
@@ -165,7 +195,12 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 // worker pool and joined errgroup-style. Each task writes only its own
 // factors[m] slot and every kernel inside is deterministic, so the result
 // is bit-identical for any worker count.
-func buildFactors(p *partition.Result, method Method, ranks []int, workers int) []*mat.Matrix {
+//
+// Per-mode sub-spans are created serially here, before the pool runs any
+// task, so the span tree's child order (pivots, then free1, then free2 —
+// each in Config order) is deterministic no matter how the pool schedules
+// the tasks. Pivot-mode spans carry one x1/x2 child per sub-tensor kernel.
+func buildFactors(p *partition.Result, method Method, ranks []int, workers int, span *obs.Span) []*mat.Matrix {
 	cfg := p.Config
 	k := len(cfg.Pivots)
 	factors := make([]*mat.Matrix, len(ranks))
@@ -173,27 +208,33 @@ func buildFactors(p *partition.Result, method Method, ranks []int, workers int) 
 	for i, m := range cfg.Pivots {
 		i, m := i, m
 		r := ranks[m]
+		ms := span.Start(fmt.Sprintf("mode%d", m))
+		ms.Set("rank", int64(r))
+		ms.Set("pivot", 1)
+		c1 := ms.Start("x1")
+		c2 := ms.Start("x2")
 		tasks = append(tasks, func() {
+			defer ms.Finish()
 			switch method {
 			case AVG:
 				var u1, u2 *mat.Matrix
 				parallel.Do(workers,
-					func() { u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
-					func() { u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
+					func() { defer c1.Finish(); u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
+					func() { defer c2.Finish(); u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
 				)
 				factors[m] = mat.Average(u1, u2)
 			case CONCAT:
 				var g1, g2 *mat.Matrix
 				parallel.Do(workers,
-					func() { g1 = tensor.ModeGramWorkers(p.Sub1.Tensor, i, workers) },
-					func() { g2 = tensor.ModeGramWorkers(p.Sub2.Tensor, i, workers) },
+					func() { defer c1.Finish(); g1 = tensor.ModeGramWorkers(p.Sub1.Tensor, i, workers) },
+					func() { defer c2.Finish(); g2 = tensor.ModeGramWorkers(p.Sub2.Tensor, i, workers) },
 				)
 				factors[m] = mat.LeadingEigenvectors(mat.Add(g1, g2), r)
 			case SELECT:
 				var u1, u2 *mat.Matrix
 				parallel.Do(workers,
-					func() { u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
-					func() { u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
+					func() { defer c1.Finish(); u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
+					func() { defer c2.Finish(); u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
 				)
 				factors[m] = RowSelect(u1, u2)
 			}
@@ -201,13 +242,21 @@ func buildFactors(p *partition.Result, method Method, ranks []int, workers int) 
 	}
 	for i, m := range cfg.Free1 {
 		i, m := i, m
+		ms := span.Start(fmt.Sprintf("mode%d", m))
+		ms.Set("rank", int64(ranks[m]))
+		ms.Set("sub", 1)
 		tasks = append(tasks, func() {
+			defer ms.Finish()
 			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, k+i, ranks[m], workers)
 		})
 	}
 	for i, m := range cfg.Free2 {
 		i, m := i, m
+		ms := span.Start(fmt.Sprintf("mode%d", m))
+		ms.Set("rank", int64(ranks[m]))
+		ms.Set("sub", 2)
 		tasks = append(tasks, func() {
+			defer ms.Finish()
 			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, k+i, ranks[m], workers)
 		})
 	}

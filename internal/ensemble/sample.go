@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -208,6 +209,10 @@ type EncodeOptions struct {
 	// Retry is the transient-failure retry policy for simulation runs;
 	// the zero value normalizes to the faults package defaults.
 	Retry faults.RetryPolicy
+	// Span, when non-nil, is the simulate stage span: EncodeCtx records
+	// the fan-out's EncodeStats and cell count on it as deterministic
+	// counters. A nil Span costs one nil check.
+	Span *obs.Span
 }
 
 // EncodeStats accounts for every fault handled during an Encode fan-out.
@@ -307,6 +312,9 @@ func EncodeCtx(ctx context.Context, s *Space, sims []Sim, opts EncodeOptions) (*
 	}
 	stats.QuarantinedCells = sp.Tensor.Rejected
 	sp.Stats = stats
+	opts.Span.Set("sims", int64(len(sims)))
+	opts.Span.Set("cells", int64(sp.Tensor.NNZ()))
+	stats.record(opts.Span)
 	return sp, stats, nil
 }
 

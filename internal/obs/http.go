@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a lightweight diagnostics HTTP server exposing a Registry:
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/debug/vars     expvar JSON (the registry is published as "m2td")
+//	/debug/pprof/…  the standard net/http/pprof profile endpoints
+//
+// It binds its own listener (addr ":0" picks a free port; Addr reports
+// the bound address) so campaign processes can serve live metrics and
+// profiles without any global http.DefaultServeMux pollution.
+type Server struct {
+	// Addr is the bound listen address, e.g. "127.0.0.1:43017".
+	Addr string
+
+	lis net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics starts serving reg on addr in a background goroutine and
+// returns immediately. The caller owns the returned server and should
+// Close it on shutdown; Close is also safe to leave to process exit for
+// CLI tools.
+func ServeMetrics(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	reg.PublishExpvar("m2td")
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "m2td observability endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: lis.Addr().String(), lis: lis, srv: srv}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path.
+		_ = srv.Serve(lis)
+	}()
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -117,6 +117,9 @@ func For(n, workers int, fn func(start, end int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		stripsTotal.Inc()
+		workersActive.Add(1)
+		defer workersActive.Add(-1)
 		fn(0, n)
 		return
 	}
@@ -131,9 +134,12 @@ func For(n, workers int, fn func(start, end int)) {
 			continue
 		}
 		wg.Add(1)
+		stripsTotal.Inc()
 		go func(start, end int) {
 			defer wg.Done()
 			defer pc.recover()
+			workersActive.Add(1)
+			defer workersActive.Add(-1)
 			fn(start, end)
 		}(start, end)
 	}
@@ -177,7 +183,10 @@ func Do(workers int, tasks ...func()) {
 		workers = n
 	}
 	if workers <= 1 {
+		workersActive.Add(1)
+		defer workersActive.Add(-1)
 		for _, t := range tasks {
+			tasksTotal.Inc()
 			t()
 		}
 		return
@@ -191,11 +200,14 @@ func Do(workers int, tasks ...func()) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			workersActive.Add(1)
+			defer workersActive.Add(-1)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				tasksTotal.Inc()
 				func() {
 					defer pc.recover()
 					tasks[i]()

@@ -111,5 +111,6 @@ func (s *ckptSession) save() error {
 	if err := s.ck.Store.SaveSimSet(s.name, s.ck.Fingerprint, s.done); err != nil {
 		return fmt.Errorf("partition: checkpoint save: %w", err)
 	}
+	checkpointFlushesTotal.Inc()
 	return nil
 }

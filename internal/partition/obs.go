@@ -1,0 +1,40 @@
+package partition
+
+import "repro/internal/obs"
+
+// Campaign instrumentation. Counters are incremented once per simulation
+// (or per checkpoint flush), never per cell, so the fan-out pays one
+// atomic add per solver run — negligible next to the solve itself.
+var (
+	simsExecutedTotal = obs.Default.Counter("m2td_sims_executed_total",
+		"Simulations that ran to completion in this process.")
+	simsRestoredTotal = obs.Default.Counter("m2td_sims_restored_total",
+		"Simulations served from a resumed checkpoint without re-execution.")
+	simsRetriedTotal = obs.Default.Counter("m2td_sims_retried_total",
+		"Executed simulations that needed more than one attempt.")
+	simsFailedTotal = obs.Default.Counter("m2td_sims_failed_total",
+		"Simulations that exhausted their retry budget or crashed fatally.")
+	cellsQuarantinedTotal = obs.Default.Counter("m2td_cells_quarantined_total",
+		"Non-finite cell values dropped at ingest (divergence quarantine).")
+	checkpointFlushesTotal = obs.Default.Counter("m2td_checkpoint_flushes_total",
+		"Checkpoint saves of a sub-campaign's completed-simulation set.")
+	simDuration = obs.Default.Histogram("m2td_sim_duration_seconds",
+		"Wall time of one simulation (including its retries).", nil)
+)
+
+// record mirrors one sub-campaign's SimStats into the process-wide
+// metrics registry and onto the sub-campaign's stage span (deterministic
+// counters: every field depends only on the injected faults and the
+// sampled configurations, never on the worker count).
+func (s SimStats) record(span *obs.Span) {
+	simsExecutedTotal.Add(int64(s.ExecutedSims))
+	simsRestoredTotal.Add(int64(s.RestoredSims))
+	simsRetriedTotal.Add(int64(s.RetriedSims))
+	simsFailedTotal.Add(int64(s.FailedSims))
+	cellsQuarantinedTotal.Add(int64(s.QuarantinedCells))
+	span.Add("sims_executed", int64(s.ExecutedSims))
+	span.Add("sims_restored", int64(s.RestoredSims))
+	span.Add("sims_retried", int64(s.RetriedSims))
+	span.Add("sims_failed", int64(s.FailedSims))
+	span.Add("cells_quarantined", int64(s.QuarantinedCells))
+}

@@ -235,6 +235,12 @@ func GenerateCtx(ctx context.Context, space *ensemble.Space, cfg Config, rng *ra
 	free1Configs := sampleConfigs(allConfigs(space, cfg.Free1), cfg.FreeFrac, rng)
 	free2Configs := sampleConfigs(allConfigs(space, cfg.Free2), cfg.FreeFrac, rng)
 
+	// Stage-span accounting: the sampled configuration counts depend only
+	// on the space, cfg and rng seed, so they are deterministic counters.
+	opts.Span.Add("pivot_configs", int64(len(pivotConfigs)))
+	opts.Span.Add("free1_configs", int64(len(free1Configs)))
+	opts.Span.Add("free2_configs", int64(len(free2Configs)))
+
 	sub1, err := buildSub(ctx, space, cfg.Pivots, cfg.Free1, pivotConfigs, free1Configs, opts, "sub1")
 	if err != nil {
 		return nil, err
@@ -272,6 +278,8 @@ func GenerateCtx(ctx context.Context, space *ensemble.Space, cfg Config, rng *ra
 // were restored vs executed, so a resumed campaign's sub-tensor is laid
 // out bit-identically to an uninterrupted one.
 func buildSub(ctx context.Context, space *ensemble.Space, pivots, free []int, pivotConfigs, freeConfigs [][]int, opts SimOptions, ckptName string) (*SubEnsemble, error) {
+	span := opts.Span.Start(ckptName)
+	defer span.WithVitals(nil)()
 	modes := append(append([]int(nil), pivots...), free...)
 	shape := space.Shape()
 	subShape := make(tensor.Shape, len(modes))
@@ -350,5 +358,8 @@ func buildSub(ctx context.Context, space *ensemble.Space, pivots, free []int, pi
 	stats.QuarantinedCells = sub.Tensor.Rejected
 	sub.NumSims = len(keys)
 	sub.Stats = stats
+	span.Set("sims", int64(sub.NumSims))
+	span.Set("cells", int64(sub.Tensor.NNZ()))
+	stats.record(span)
 	return sub, nil
 }

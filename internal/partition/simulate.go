@@ -3,9 +3,11 @@ package partition
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/ensemble"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -22,6 +24,12 @@ type SimOptions struct {
 	// Checkpoint, when non-nil, persists completed simulations
 	// periodically and (with Resume) skips previously completed ones.
 	Checkpoint *Checkpoint
+	// Span, when non-nil, is the partition stage span: GenerateCtx
+	// records the sampled configuration counts on it and opens one child
+	// span per sub-campaign (sub1, sub2) carrying that campaign's
+	// SimStats as deterministic counters. A nil Span costs one nil check
+	// per stage.
+	Span *obs.Span
 }
 
 // SimStats accounts for every simulation of one sub-campaign (or, on
@@ -101,11 +109,13 @@ func simulateAll(ctx context.Context, space *ensemble.Space, keys []int, simIdxO
 			i := pending[p]
 			k := keys[i]
 			var cells []float64
+			simStart := time.Now()
 			attempts, runErr := opts.Retry.Run(ctx, uint64(k), func(actx context.Context) error {
 				var cerr error
 				cells, cerr = space.SimCellsCtx(actx, simIdxOf[k])
 				return cerr
 			})
+			simDuration.Observe(time.Since(simStart).Seconds())
 			mu.Lock()
 			switch {
 			case runErr == nil:

@@ -1,0 +1,20 @@
+package tensor
+
+import "repro/internal/obs"
+
+// Kernel-plan cache instrumentation. PlanMode is called once per sparse
+// kernel invocation (not per element), so one atomic add per call is
+// far below the kernels' measurement noise.
+var (
+	planBuildsTotal = obs.Default.Counter("m2td_plan_cache_builds_total",
+		"Compiled sparse mode plans (kernel-plan cache misses).")
+	planHitsTotal = obs.Default.Counter("m2td_plan_cache_hits_total",
+		"Sparse kernel invocations served by a cached mode plan.")
+)
+
+// PlanCacheStats returns the process-wide kernel-plan cache accounting:
+// builds (cache misses, one per (tensor generation, mode)) and hits
+// (kernel invocations that reused a cached plan).
+func PlanCacheStats() (builds, hits int64) {
+	return planBuildsTotal.Value(), planHitsTotal.Value()
+}

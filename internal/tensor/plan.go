@@ -83,8 +83,32 @@ func (s *Sparse) PlanMode(n, workers int) *ModePlan {
 		s.plans.modes[n] = e
 	}
 	s.planMu.Unlock()
-	e.once.Do(func() { e.plan = compileModePlan(s, n, workers) })
+	built := false
+	e.once.Do(func() {
+		e.plan = compileModePlan(s, n, workers)
+		built = true
+	})
+	// Cache accounting: exactly one caller per (generation, mode) observes
+	// the build; every other call is a hit. Both counts depend only on how
+	// many kernel invocations the algorithm performs — never on the worker
+	// count — so per-tensor deltas are valid deterministic span counters.
+	if built {
+		s.planBuilds.Add(1)
+		planBuildsTotal.Inc()
+	} else {
+		s.planHits.Add(1)
+		planHitsTotal.Inc()
+	}
 	return e.plan
+}
+
+// PlanStats returns this tensor's kernel-plan cache accounting: builds
+// (cache misses, one per (tensor generation, mode)) and hits (kernel
+// invocations served by a cached plan). Both counts depend only on the
+// sequence of kernel invocations — never on the worker count — so stage
+// spans may record their deltas as deterministic counters.
+func (s *Sparse) PlanStats() (builds, hits int64) {
+	return s.planBuilds.Load(), s.planHits.Load()
 }
 
 // compileModePlan builds the sorted triple layout and group bounds for one

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Sparse is an N-mode tensor in coordinate (COO) format. Indices are stored
@@ -39,6 +40,9 @@ type Sparse struct {
 	// never serialise their plan builds.
 	planMu sync.Mutex
 	plans  *planCache
+	// planBuilds/planHits are this tensor's kernel-plan cache accounting
+	// (see PlanStats); maintained by PlanMode.
+	planBuilds, planHits atomic.Int64
 }
 
 // NewSparse returns an empty sparse tensor with the given shape.

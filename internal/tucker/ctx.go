@@ -2,6 +2,7 @@ package tucker
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/mat"
 	"repro/internal/tensor"
@@ -24,7 +25,9 @@ func HOOICtx(ctx context.Context, x *tensor.Sparse, ranks []int, opts HOOIOption
 	}
 
 	// Initialise from HOSVD.
-	dec := HOSVDWorkers(x, ranks, w)
+	ispan := opts.Span.Start("init")
+	dec := HOSVDSpan(x, ranks, w, ispan)
+	ispan.Finish()
 	factors := dec.Factors
 
 	// All TTM chains inside the sweeps run on one reusable workspace: the
@@ -36,7 +39,13 @@ func HOOICtx(ctx context.Context, x *tensor.Sparse, ranks []int, opts HOOIOption
 	ms := make([]*mat.Matrix, order)
 
 	prevEnergy := dec.Core.Norm()
+	sweeps := 0
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// The per-sweep span is structural: whether a sweep runs depends
+		// only on the data and the tolerance (never on the worker count),
+		// so the sweep children and the final "sweeps" counter are
+		// deterministic.
+		sw := opts.Span.Start(fmt.Sprintf("sweep%d", iter))
 		for n := 0; n < order; n++ {
 			if err := ctx.Err(); err != nil {
 				return Decomposition{}, err
@@ -57,11 +66,15 @@ func HOOICtx(ctx context.Context, x *tensor.Sparse, ranks []int, opts HOOIOption
 		}
 		core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
 		energy := core.Norm()
+		sw.Finish()
+		sweeps = iter + 1
 		if energy-prevEnergy <= opts.Tolerance*(prevEnergy+1e-300) {
+			opts.Span.Set("sweeps", int64(sweeps))
 			return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}, nil
 		}
 		prevEnergy = energy
 	}
+	opts.Span.Set("sweeps", int64(sweeps))
 	core := ws.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), w)
 	return Decomposition{Core: core.Clone(), Factors: factors, Ranks: ranks}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -24,6 +25,11 @@ type HOOIOptions struct {
 	// HOOI its monotone energy guarantee — but every kernel inside a sweep
 	// fans out. Results are bit-identical for any worker count.
 	Workers int
+	// Span, when non-nil, is the decompose stage span: HOOICtx opens one
+	// child for the HOSVD initialisation (with per-mode sub-spans) and one
+	// per alternating sweep, and records the executed sweep count as a
+	// deterministic counter. A nil Span costs one nil check per site.
+	Span *obs.Span
 }
 
 func (o HOOIOptions) normalize() HOOIOptions {

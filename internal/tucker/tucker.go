@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -66,18 +67,35 @@ func HOSVD(x *tensor.Sparse, ranks []int) Decomposition { return HOSVDWorkers(x,
 // Every mode's factor is computed exactly as in the serial loop, so the
 // decomposition is bit-identical for any worker count.
 func HOSVDWorkers(x *tensor.Sparse, ranks []int, workers int) Decomposition {
+	return HOSVDSpan(x, ranks, workers, nil)
+}
+
+// HOSVDSpan is HOSVDWorkers with stage-span instrumentation: one child
+// span per mode (created serially before the pool runs, so the child
+// order is mode order for any worker count) plus a "core" child for the
+// TTM chain. Span counters — per-mode ranks and the core cell count —
+// depend only on the tensor shape and ranks, so the span structure is
+// deterministic. A nil span disables instrumentation at the cost of one
+// nil check per site.
+func HOSVDSpan(x *tensor.Sparse, ranks []int, workers int, span *obs.Span) Decomposition {
 	ranks = ClipRanks(x.Shape, ranks)
 	order := x.Order()
 	factors := make([]*mat.Matrix, order)
 	tasks := make([]func(), order)
 	for n := 0; n < order; n++ {
 		n := n
+		ms := span.Start(fmt.Sprintf("mode%d", n))
+		ms.Set("rank", int64(ranks[n]))
 		tasks[n] = func() {
+			defer ms.Finish()
 			factors[n] = tensor.LeadingModeVectorsWorkers(x, n, ranks[n], workers)
 		}
 	}
 	parallel.Do(workers, tasks...)
+	cs := span.Start("core")
 	core := tensor.MultiTTMSparseWorkers(x, tensor.TransposeAll(factors), workers)
+	cs.Set("cells", int64(len(core.Data)))
+	cs.Finish()
 	return Decomposition{Core: core, Factors: factors, Ranks: ranks}
 }
 

@@ -44,6 +44,8 @@ import (
 	"repro/internal/ensemble"
 	"repro/internal/eval"
 	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/stitch"
 	"repro/internal/store"
@@ -53,18 +55,22 @@ import (
 
 // Config describes one end-to-end M2TD pipeline run.
 type Config struct {
-	// System is the dynamical system: "double-pendulum" (default),
-	// "triple-pendulum", "lorenz", or "seir".
-	System string
+	// System is the dynamical system: SystemDoublePendulum (default),
+	// SystemTriplePendulum, SystemLorenz, or SystemSEIR. Untyped string
+	// literals ("double-pendulum", …) keep assigning to it unchanged; use
+	// ParseSystem to validate free-form input eagerly.
+	System System
 	// Resolution is the per-parameter grid resolution (default 12).
 	Resolution int
 	// TimeSamples is the time-mode size (defaults to Resolution).
 	TimeSamples int
 	// Rank is the uniform per-mode Tucker rank (default 4).
 	Rank int
-	// Method selects the pivot fusion: "avg", "concat", or "select"
-	// (default).
-	Method string
+	// Method selects the pivot fusion: MethodAVG, MethodCONCAT, or
+	// MethodSELECT (default). Untyped string literals and the historical
+	// aliases ("average", "M2TD-SELECT", …) keep working; use ParseMethod
+	// to validate free-form input eagerly.
+	Method Method
 	// Pivot names the pivot mode: "t" (default), a parameter name such as
 	// "phi1", or "auto" to pick the best pivot by a coarse pilot run
 	// (eval.SelectPivot).
@@ -128,6 +134,13 @@ type Config struct {
 	// every simulation it already holds. Checkpoints written by a
 	// different configuration are ignored.
 	Resume bool
+
+	// Trace records a stage-span trace of the run (partition → decompose
+	// → evaluate, with per-sub-tensor and per-mode sub-spans) on
+	// Report.Trace. Span structure and counters are deterministic for any
+	// Parallel value; only durations and gauges vary. Disabled tracing
+	// costs one nil check per instrumented site.
+	Trace bool
 }
 
 // Report is the outcome of a pipeline run.
@@ -168,6 +181,11 @@ type Report struct {
 	// Partition is the PF-partitioned pair the decomposition consumed
 	// (nil for Baseline runs).
 	Partition *partition.Result
+	// Trace is the run's stage-span trace when Config.Trace was set (nil
+	// otherwise). Its root counters mirror this report's deterministic
+	// fields; serialize it with WriteTrace and inspect the JSONL with
+	// cmd/tracecat.
+	Trace *obs.Trace
 }
 
 // normalize fills config defaults.
@@ -202,17 +220,30 @@ func (c Config) normalize() Config {
 	return c
 }
 
-// method maps the config's method name to the core constant.
-func (c Config) method() (core.Method, error) {
-	switch strings.ToLower(c.Method) {
-	case "avg", "average", "m2td-avg":
-		return core.AVG, nil
-	case "concat", "concatenate", "m2td-concat":
-		return core.CONCAT, nil
-	case "select", "selection", "m2td-select":
-		return core.SELECT, nil
+// resolved carries the validated products of one Config: the normalized
+// config, the internal fusion method, and the (possibly fault-wrapped)
+// parameter space. Run, Baseline, and the Ctx entry points all validate
+// through here, so every path accepts and rejects configurations
+// identically.
+type resolved struct {
+	cfg      Config
+	method   core.Method
+	space    *ensemble.Space
+	injector *faults.Injector
+}
+
+// resolve normalizes and validates the config.
+func (c Config) resolve() (resolved, error) {
+	cfg := c.normalize()
+	method, err := cfg.Method.core()
+	if err != nil {
+		return resolved{}, err
 	}
-	return "", fmt.Errorf("m2td: unknown method %q (want avg, concat, or select)", c.Method)
+	space, injector, err := cfg.space()
+	if err != nil {
+		return resolved{}, err
+	}
+	return resolved{cfg: cfg, method: method, space: space, injector: injector}, nil
 }
 
 // Systems lists the built-in dynamical systems.
@@ -231,10 +262,10 @@ func Systems() []string {
 // references or ground truths.
 func (c Config) space() (*ensemble.Space, *faults.Injector, error) {
 	if c.Faults == nil {
-		sp, err := eval.SpaceFor(c.System, c.Resolution, c.TimeSamples)
+		sp, err := eval.SpaceFor(string(c.System), c.Resolution, c.TimeSamples)
 		return sp, nil, err
 	}
-	sys, err := dynsys.ByName(c.System)
+	sys, err := dynsys.ByName(string(c.System))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -279,22 +310,23 @@ func Run(cfg Config) (*Report, error) {
 // kernels finish, workers are joined, completed work is checkpointed —
 // and a wrapped context error identifying the stage is returned.
 func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
-	cfg = cfg.normalize()
-	method, err := cfg.method()
+	r, err := cfg.resolve()
 	if err != nil {
 		return nil, err
 	}
-	space, injector, err := cfg.space()
-	if err != nil {
-		return nil, err
+	cfg, method, space, injector := r.cfg, r.method, r.space, r.injector
+	var trace *obs.Trace
+	if cfg.Trace {
+		trace = obs.New("run")
 	}
+	root := trace.Root()
 	pivot := -1
 	if cfg.Pivot == "auto" {
 		pilotRes := cfg.Resolution
 		if pilotRes > 8 {
 			pilotRes = 8
 		}
-		scores, err := eval.SelectPivot(cfg.System, pilotRes, cfg.Rank, 150, cfg.Seed)
+		scores, err := eval.SelectPivot(string(cfg.System), pilotRes, cfg.Rank, 150, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +343,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("m2td: unknown pivot %q for system %s", cfg.Pivot, cfg.System)
 	}
 
-	pcfg := partition.DefaultConfig(space.Order(), pivot, eval.PairsFor(cfg.System))
+	pcfg := partition.DefaultConfig(space.Order(), pivot, eval.PairsFor(string(cfg.System)))
 	pcfg.PivotFrac = cfg.PivotDensity
 	pcfg.FreeFrac = cfg.SubEnsembleDensity
 
@@ -332,20 +364,26 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	simStart := time.Now()
+	pspan := root.Start("partition")
+	pdone := pspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
 	sctx, cancelSim := stageCtx(ctx, cfg.SimTimeout)
 	part, err := partition.GenerateCtx(sctx, space, pcfg, rand.New(rand.NewSource(cfg.Seed)), partition.SimOptions{
 		Workers:    cfg.Parallel,
 		Retry:      cfg.Retry,
 		Checkpoint: ck,
+		Span:       pspan,
 	})
 	cancelSim()
+	pdone()
 	if err != nil {
 		return nil, fmt.Errorf("m2td: simulation stage: %w", err)
 	}
 	simTime := time.Since(simStart)
 
 	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
-	opts := core.Options{Method: method, Ranks: ranks, ZeroJoin: cfg.ZeroJoin, Workers: cfg.Parallel}
+	dspan := root.Start("decompose")
+	ddone := dspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
+	opts := core.Options{Method: method, Ranks: ranks, ZeroJoin: cfg.ZeroJoin, Workers: cfg.Parallel, Span: dspan}
 	dctx, cancelDecomp := stageCtx(ctx, cfg.DecompTimeout)
 	defer cancelDecomp()
 	var res *core.Result
@@ -375,6 +413,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
 		}
 	}
+	ddone()
 	cancelDecomp()
 
 	joinCells := 0
@@ -402,11 +441,15 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		s := injector.Stats()
 		report.FaultStats = &s
 	}
+	espan := root.Start("evaluate")
+	edone := espan.WithVitals(nil)
 	switch {
 	case cfg.SkipAccuracy:
+		espan.Set("skipped", 1)
 	case ctx.Err() != nil:
 		return nil, fmt.Errorf("m2td: evaluation stage: %w", ctx.Err())
 	case cfg.AccuracySampleSims > 0:
+		espan.Set("sampled_sims", int64(cfg.AccuracySampleSims))
 		model := eval.TuckerModel{Core: res.Core, Factors: res.Factors}
 		acc, err := eval.EstimateAccuracy(space, model, cfg.AccuracySampleSims, rand.New(rand.NewSource(cfg.Seed+100)))
 		if err != nil {
@@ -416,6 +459,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	default:
 		report.Accuracy = eval.Accuracy(res.Reconstruct(), space.GroundTruth())
 	}
+	edone()
+	report.finishTrace(trace, cfg)
+	runsTotal.Inc()
 	return report, nil
 }
 
@@ -433,11 +479,16 @@ func Baseline(cfg Config, scheme string, budget int) (*Report, error) {
 // on the encoding fan-out. Stage deadlines follow Config.SimTimeout and
 // Config.DecompTimeout.
 func BaselineCtx(ctx context.Context, cfg Config, scheme string, budget int) (*Report, error) {
-	cfg = cfg.normalize()
-	space, injector, err := cfg.space()
+	r, err := cfg.resolve()
 	if err != nil {
 		return nil, err
 	}
+	cfg, space, injector := r.cfg, r.space, r.injector
+	var trace *obs.Trace
+	if cfg.Trace {
+		trace = obs.New("baseline")
+	}
+	root := trace.Root()
 	var sims []ensemble.Sim
 	switch strings.ToLower(scheme) {
 	case "random":
@@ -452,9 +503,12 @@ func BaselineCtx(ctx context.Context, cfg Config, scheme string, budget int) (*R
 		return nil, fmt.Errorf("m2td: unknown baseline scheme %q", scheme)
 	}
 	simStart := time.Now()
+	sspan := root.Start("simulate")
+	sdone := sspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
 	sctx, cancelSim := stageCtx(ctx, cfg.SimTimeout)
-	se, estats, err := ensemble.EncodeCtx(sctx, space, sims, ensemble.EncodeOptions{Workers: cfg.Parallel, Retry: cfg.Retry})
+	se, estats, err := ensemble.EncodeCtx(sctx, space, sims, ensemble.EncodeOptions{Workers: cfg.Parallel, Retry: cfg.Retry, Span: sspan})
 	cancelSim()
+	sdone()
 	if err != nil {
 		return nil, fmt.Errorf("m2td: simulation stage: %w", err)
 	}
@@ -465,7 +519,10 @@ func BaselineCtx(ctx context.Context, cfg Config, scheme string, budget int) (*R
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
 	}
-	dec := tucker.HOSVDWorkers(se.Tensor, ranks, cfg.Parallel)
+	dspan := root.Start("decompose")
+	ddone := dspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
+	dec := tucker.HOSVDSpan(se.Tensor, ranks, cfg.Parallel, dspan)
+	ddone()
 	decompTime := time.Since(start)
 
 	report := &Report{
@@ -486,11 +543,15 @@ func BaselineCtx(ctx context.Context, cfg Config, scheme string, budget int) (*R
 		s := injector.Stats()
 		report.FaultStats = &s
 	}
+	espan := root.Start("evaluate")
+	edone := espan.WithVitals(nil)
 	switch {
 	case cfg.SkipAccuracy:
+		espan.Set("skipped", 1)
 	case ctx.Err() != nil:
 		return nil, fmt.Errorf("m2td: evaluation stage: %w", ctx.Err())
 	case cfg.AccuracySampleSims > 0:
+		espan.Set("sampled_sims", int64(cfg.AccuracySampleSims))
 		model := eval.TuckerModel{Core: dec.Core, Factors: dec.Factors}
 		acc, err := eval.EstimateAccuracy(space, model, cfg.AccuracySampleSims, rand.New(rand.NewSource(cfg.Seed+100)))
 		if err != nil {
@@ -500,31 +561,193 @@ func BaselineCtx(ctx context.Context, cfg Config, scheme string, budget int) (*R
 	default:
 		report.Accuracy = eval.Accuracy(dec.Reconstruct(), space.GroundTruth())
 	}
+	edone()
+	report.finishTrace(trace, cfg)
+	runsTotal.Inc()
 	return report, nil
 }
 
-// Partition PF-partitions a space and simulates both sub-ensembles; a
-// building block for custom pipelines.
-func Partition(space *ensemble.Space, pivot int, pivotFrac, freeFrac float64, seed int64) (*partition.Result, error) {
+// finishTrace closes out a run's trace: the root span's counters mirror
+// the report's deterministic fields (so a serialized trace is
+// self-describing and tests can assert counters == report), the trace is
+// finished, and it is attached to the report. A nil trace is a no-op.
+func (r *Report) finishTrace(trace *obs.Trace, cfg Config) {
+	if trace == nil {
+		return
+	}
+	root := trace.Root()
+	root.Set("sims", int64(r.NumSims))
+	root.Set("join_cells", int64(r.JoinCells))
+	root.Set("sims_executed", int64(r.ExecutedSims))
+	root.Set("sims_restored", int64(r.RestoredSims))
+	root.Set("sims_retried", int64(r.RetriedSims))
+	root.Set("sims_failed", int64(r.FailedSims))
+	root.Set("cells_quarantined", int64(r.QuarantinedCells))
+	root.Set("resolution", int64(cfg.Resolution))
+	root.Set("rank", int64(cfg.Rank))
+	trace.Finish()
+	r.Trace = trace
+}
+
+// PartitionOptions configures PartitionCtx. The zero value means: full
+// densities, seed 1, default worker count, default retry policy, no
+// tracing.
+type PartitionOptions struct {
+	// PivotFrac and FreeFrac are the paper's P and E density knobs in
+	// (0, 1]; zero values mean 1.
+	PivotFrac, FreeFrac float64
+	// Seed drives the sampling randomness (default 1).
+	Seed int64
+	// Parallel is the shared worker-pool size for the simulation fan-out
+	// (0 = all CPUs, 1 = serial).
+	Parallel int
+	// Retry is the per-simulation retry policy for transient failures.
+	Retry faults.RetryPolicy
+	// Trace, when non-nil, receives a "partition" stage span (with
+	// sub1/sub2 children) under its root.
+	Trace *obs.Trace
+}
+
+// PartitionCtx PF-partitions a space and simulates both sub-ensembles
+// with cooperative cancellation, retry, divergence quarantine, and
+// optional tracing; a building block for custom pipelines.
+func PartitionCtx(ctx context.Context, space *ensemble.Space, pivot int, opts PartitionOptions) (*partition.Result, error) {
+	if opts.PivotFrac == 0 {
+		opts.PivotFrac = 1
+	}
+	if opts.FreeFrac == 0 {
+		opts.FreeFrac = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	pcfg := partition.DefaultConfig(space.Order(), pivot, eval.PairsFor(space.Sys.Name()))
-	pcfg.PivotFrac = pivotFrac
-	pcfg.FreeFrac = freeFrac
-	return partition.Generate(space, pcfg, rand.New(rand.NewSource(seed)))
+	pcfg.PivotFrac = opts.PivotFrac
+	pcfg.FreeFrac = opts.FreeFrac
+	span := opts.Trace.Root().Start("partition")
+	done := span.WithVitals(map[string]func() int64{"strips": parallel.Strips})
+	defer done()
+	return partition.GenerateCtx(ctx, space, pcfg, rand.New(rand.NewSource(opts.Seed)), partition.SimOptions{
+		Workers: opts.Parallel,
+		Retry:   opts.Retry,
+		Span:    span,
+	})
+}
+
+// Partition PF-partitions a space and simulates both sub-ensembles; a
+// building block for custom pipelines. It is PartitionCtx on a background
+// context; prefer PartitionCtx in new code.
+func Partition(space *ensemble.Space, pivot int, pivotFrac, freeFrac float64, seed int64) (*partition.Result, error) {
+	return PartitionCtx(context.Background(), space, pivot, PartitionOptions{
+		PivotFrac: pivotFrac, FreeFrac: freeFrac, Seed: seed,
+	})
+}
+
+// StitchOptions configures StitchCtx.
+type StitchOptions struct {
+	// ZeroJoin selects zero-join JE-stitching (Section V-C.2).
+	ZeroJoin bool
+	// Trace, when non-nil, receives a "stitch" stage span under its root.
+	Trace *obs.Trace
+}
+
+// StitchCtx constructs the join tensor (or zero-join tensor) for a
+// PF-partitioned pair. The context is checked before the (uninterruptible)
+// stitch kernel runs.
+func StitchCtx(ctx context.Context, part *partition.Result, opts StitchOptions) (*tensor.Sparse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("m2td: stitch stage: %w", err)
+	}
+	span := opts.Trace.Root().Start("stitch")
+	done := span.WithVitals(nil)
+	defer done()
+	var j *tensor.Sparse
+	if opts.ZeroJoin {
+		j = stitch.ZeroJoin(part)
+		span.Set("zero_join", 1)
+	} else {
+		j = stitch.Join(part)
+	}
+	span.Set("join_nnz", int64(j.NNZ()))
+	return j, nil
 }
 
 // Stitch constructs the join tensor (or zero-join tensor) for a
-// PF-partitioned pair of sub-ensembles.
+// PF-partitioned pair of sub-ensembles. Prefer StitchCtx in new code.
 func Stitch(part *partition.Result, zeroJoin bool) *tensor.Sparse {
-	if zeroJoin {
-		return stitch.ZeroJoin(part)
+	j, err := StitchCtx(context.Background(), part, StitchOptions{ZeroJoin: zeroJoin})
+	if err != nil {
+		// Unreachable: background contexts are never cancelled and
+		// StitchCtx has no other error path.
+		panic(fmt.Sprintf("m2td: Stitch: %v", err))
 	}
-	return stitch.Join(part)
+	return j
+}
+
+// DecomposeOptions configures DecomposeCtx. The zero value selects
+// MethodSELECT at uniform rank 4 over the plain join.
+type DecomposeOptions struct {
+	// Method is the pivot fusion strategy ("" = MethodSELECT).
+	Method Method
+	// Rank is the uniform per-mode Tucker rank (0 = 4). Ranks, when
+	// non-nil, overrides it with explicit per-mode ranks.
+	Rank  int
+	Ranks []int
+	// ZeroJoin selects zero-join JE-stitching for core recovery.
+	ZeroJoin bool
+	// Factored computes the core without materialising the join tensor
+	// (core.DecomposeFactored); identical results, required at paper-scale
+	// resolutions.
+	Factored bool
+	// Parallel is the shared worker-pool size for the decomposition hot
+	// path (0 = all CPUs, 1 = serial). Results are bit-identical for any
+	// value.
+	Parallel int
+	// Trace, when non-nil, receives a "decompose" stage span (with
+	// factors/stitch/core children) under its root.
+	Trace *obs.Trace
+}
+
+// DecomposeCtx runs the selected M2TD variant over a PF-partitioned pair
+// with cooperative cancellation, the shared worker pool, kernel-plan
+// reuse, and optional tracing — the same engine path RunCtx uses.
+func DecomposeCtx(ctx context.Context, part *partition.Result, opts DecomposeOptions) (*core.Result, error) {
+	if opts.Method == "" {
+		opts.Method = MethodSELECT
+	}
+	method, err := opts.Method.core()
+	if err != nil {
+		return nil, err
+	}
+	ranks := opts.Ranks
+	if ranks == nil {
+		rank := opts.Rank
+		if rank == 0 {
+			rank = 4
+		}
+		ranks = tucker.UniformRanks(part.Space.Order(), rank)
+	}
+	span := opts.Trace.Root().Start("decompose")
+	done := span.WithVitals(map[string]func() int64{"strips": parallel.Strips})
+	defer done()
+	copts := core.Options{Method: method, Ranks: ranks, ZeroJoin: opts.ZeroJoin, Workers: opts.Parallel, Span: span}
+	if opts.Factored {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
+		}
+		return core.DecomposeFactored(part, copts)
+	}
+	return core.DecomposeCtx(ctx, part, copts)
 }
 
 // Decompose runs the selected M2TD variant over a PF-partitioned pair.
+// It now routes through the same engine path as RunCtx (shared worker
+// pool, kernel-plan reuse) instead of the former always-default-options
+// call; results are unchanged. Prefer DecomposeCtx in new code.
 func Decompose(part *partition.Result, method core.Method, rank int, zeroJoin bool) (*core.Result, error) {
-	ranks := tucker.UniformRanks(part.Space.Order(), rank)
-	return core.Decompose(part, core.Options{Method: method, Ranks: ranks, ZeroJoin: zeroJoin})
+	return DecomposeCtx(context.Background(), part, DecomposeOptions{
+		Method: Method(method), Rank: rank, ZeroJoin: zeroJoin,
+	})
 }
 
 func nan() float64 { return math.NaN() }

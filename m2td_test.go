@@ -70,7 +70,7 @@ func TestRunSkipAccuracy(t *testing.T) {
 func TestRunAllMethodsAndDefaults(t *testing.T) {
 	for _, m := range []string{"avg", "concat", "select", "AVG", "M2TD-SELECT"} {
 		cfg := smallConfig()
-		cfg.Method = m
+		cfg.Method = Method(m)
 		if _, err := Run(cfg); err != nil {
 			t.Fatalf("method %q: %v", m, err)
 		}
