@@ -3,7 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke trace-smoke ci clean
+# Pinned external analysis tools (single source of truth — the CI lint
+# job reads these exact versions). They are NOT module dependencies:
+# go.mod stays zero-dependency, and `make lint` runs the hermetic
+# in-repo suite (vet + m2tdlint) without them. `make lint-extra`
+# installs and runs them where network access exists.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build vet lint lint-extra test race bench bench-json bench-smoke fuzz-smoke trace-smoke ci clean
 
 all: build
 
@@ -12,6 +20,18 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Hermetic lint: go vet plus the in-repo m2tdlint invariant suite
+# (determinism, ctxprop, spans, floatcmp, quarantine — DESIGN.md §8).
+# Runs offline; any finding fails the target.
+lint: vet
+	$(GO) run ./cmd/m2tdlint ./...
+
+# External analyzers at pinned versions. Requires network for the first
+# install; kept out of `ci` so the aggregate stays runnable offline.
+lint-extra:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 test:
 	$(GO) test ./...
@@ -53,7 +73,7 @@ trace-smoke:
 	$(GO) run ./cmd/tracecat trace.jsonl
 	@rm -f trace.jsonl trace-run.stderr
 
-ci: build vet test race bench-smoke fuzz-smoke trace-smoke
+ci: build lint test race bench-smoke fuzz-smoke trace-smoke
 
 clean:
 	$(GO) clean ./...

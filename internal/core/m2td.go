@@ -98,6 +98,7 @@ func (r *Result) Reconstruct() *tensor.Dense {
 
 // Decompose runs M2TD over a PF-partitioned pair of sub-ensembles.
 func Decompose(p *partition.Result, opts Options) (*Result, error) {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx API is the root of its own context tree
 	return DecomposeCtx(context.Background(), p, opts)
 }
 
@@ -128,7 +129,7 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 	// The phase span records each sub-tensor's kernel-plan cache deltas:
 	// builds and hits depend only on the kernel invocation sequence (never
 	// on Workers), so they are deterministic counters.
-	start := time.Now()
+	subClock := stopwatch()
 	fspan := opts.Span.Start("factors")
 	fb1, fh1 := p.Sub1.Tensor.PlanStats()
 	fb2, fh2 := p.Sub2.Tensor.PlanStats()
@@ -141,14 +142,14 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 	fspan.Set("plan_builds_x2", b2-fb2)
 	fspan.Set("plan_hits_x2", h2-fh2)
 	fdone()
-	subTime := time.Since(start)
+	subTime := subClock()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Phase 2: JE-stitching.
-	start = time.Now()
+	stitchClock := stopwatch()
 	sspan := opts.Span.Start("stitch")
 	sdone := sspan.WithVitals(nil)
 	var j *tensor.Sparse
@@ -160,20 +161,20 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 	}
 	sspan.Set("join_nnz", int64(j.NNZ()))
 	sdone()
-	stitchTime := time.Since(start)
+	stitchTime := stitchClock()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Phase 3: recover the core through the assembled factors.
-	start = time.Now()
+	coreClock := stopwatch()
 	cspan := opts.Span.Start("core")
 	cdone := cspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
 	coreT := tucker.CoreFromFactorsWorkers(j, factors, opts.Workers)
 	cspan.Set("cells", int64(len(coreT.Data)))
 	cdone()
-	coreTime := time.Since(start)
+	coreTime := coreClock()
 
 	return &Result{
 		Factors:       factors,

@@ -87,6 +87,7 @@ func corePhaseFiber(j *tensor.Sparse, factors []*mat.Matrix, workers int) (*tens
 	// driver.
 	y := tensor.NewDense(midShape)
 	for _, c := range out {
+		//lint:allow quarantine -- kernel scatter into a freshly allocated intermediate; cell values are mapreduce products of quarantined inputs
 		y.Data[midShape.LinearIndex(c.idx)] = c.val
 	}
 	cur := y

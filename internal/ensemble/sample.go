@@ -234,6 +234,7 @@ type EncodeStats struct {
 // Simulations execute in parallel on the shared worker pool; see EncodeCtx
 // for the cancellable, fault-tolerant entry point.
 func Encode(s *Space, sims []Sim) *SparseEnsemble {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx API is the root of its own context tree
 	se, _, err := EncodeCtx(context.Background(), s, sims, EncodeOptions{})
 	if err != nil {
 		// Unreachable with a background context: EncodeCtx only fails on

@@ -150,6 +150,7 @@ func (s *Space) GroundTruth() *tensor.Dense {
 					// The time mode is last, so cells for one simulation are
 					// contiguous in the dense tensor.
 					base := sim * t
+					//lint:allow quarantine -- ground-truth materialisation from the fault-free solver; evaluation-only tensor built without a quarantine configuration
 					copy(d.Data[base:base+t], cells)
 				}
 			}(w)

@@ -266,6 +266,7 @@ func (st *subState) remove(idx []int) error {
 		// Remove the most recent matching column entry.
 		rm := -1
 		for i := len(entries) - 1; i >= 0; i-- {
+			//lint:allow floatcmp -- intentional exact match: entries store v bit-exactly at insertion, and equality identifies the entry to remove
 			if entries[i].row == row && entries[i].val == v {
 				rm = i
 				break
@@ -290,9 +291,13 @@ func (st *subState) remove(idx []int) error {
 
 	// Remove the COO entry. Idx/Vals are mutated directly, so compiled
 	// kernel plans must be dropped explicitly.
+	//lint:allow quarantine -- compaction shifts existing (already quarantined) entries left; no new values enter the tensor
 	copy(st.tensor.Idx[pos*order:], st.tensor.Idx[(pos+1)*order:])
+	//lint:allow quarantine -- truncation after compaction; InvalidatePlans is called below
 	st.tensor.Idx = st.tensor.Idx[:len(st.tensor.Idx)-order]
+	//lint:allow quarantine -- compaction shifts existing (already quarantined) entries left; no new values enter the tensor
 	copy(st.tensor.Vals[pos:], st.tensor.Vals[pos+1:])
+	//lint:allow quarantine -- truncation after compaction; InvalidatePlans is called below
 	st.tensor.Vals = st.tensor.Vals[:len(st.tensor.Vals)-1]
 	st.tensor.InvalidatePlans()
 	return nil

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+//
+// Grammar (one directive per comment):
+//
+//	//lint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// A directive suppresses matching diagnostics reported on its own line
+// (trailing-comment form) and on the line immediately below (own-line
+// form, the usual choice when the annotated statement is long). The
+// reason after " -- " is mandatory; a directive without one, or naming
+// an analyzer that does not exist, is itself reported, so the tree can
+// never accumulate unexplained or stale-named suppressions.
+type allowDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows scans a file's comments for //lint:allow directives and
+// indexes them by the line(s) they cover.
+func parseAllows(fset *token.FileSet, file *ast.File) map[int][]*allowDirective {
+	out := make(map[int][]*allowDirective)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			d := &allowDirective{pos: pos}
+			names, reason, ok := strings.Cut(rest, "--")
+			if !ok {
+				// Reason missing: keep the names so suppression still
+				// matches (the hygiene diagnostic is the enforcement),
+				// but record the empty reason for validateDirectives.
+				names, reason = rest, ""
+			}
+			for _, n := range strings.Split(names, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					d.analyzers = append(d.analyzers, n)
+				}
+			}
+			d.reason = strings.TrimSpace(reason)
+			// A directive covers its own line (trailing form) and the
+			// line below (own-line form above a statement).
+			out[pos.Line] = append(out[pos.Line], d)
+			out[pos.Line+1] = append(out[pos.Line+1], d)
+		}
+	}
+	return out
+}
+
+// allowed reports whether a diagnostic from analyzer at position is
+// covered by a directive.
+func (pkg *Package) allowed(analyzer string, pos token.Position) bool {
+	byLine := pkg.allows[pos.Filename]
+	for _, d := range byLine[pos.Line] {
+		for _, n := range d.analyzers {
+			if n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// validateDirectives enforces directive hygiene: every //lint:allow must
+// carry a " -- reason" and must name only real analyzers.
+func (pkg *Package) validateDirectives() []Diagnostic {
+	seen := make(map[*allowDirective]bool)
+	var diags []Diagnostic
+	for _, byLine := range pkg.allows {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if seen[d] {
+					continue
+				}
+				seen[d] = true
+				if d.reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "m2tdlint",
+						Message:  `lint:allow directive is missing its justification ("//lint:allow <analyzer> -- <reason>")`,
+					})
+				}
+				if len(d.analyzers) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "m2tdlint",
+						Message:  "lint:allow directive names no analyzer",
+					})
+				}
+				for _, n := range d.analyzers {
+					if ByName(n) == nil {
+						diags = append(diags, Diagnostic{
+							Pos:      d.pos,
+							Analyzer: "m2tdlint",
+							Message:  "lint:allow directive names unknown analyzer " + n,
+						})
+					}
+				}
+			}
+		}
+	}
+	return diags
+}

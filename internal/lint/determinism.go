@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the bit-stability contract of the kernel packages
+// (internal/{tensor,mat,tucker,core,stitch,parallel,ensemble}): their
+// results must be identical for any worker count and across runs, which
+// the workers=1-vs-N regression suites assert via math.Float64bits. Three
+// sources of silent nondeterminism are banned there:
+//
+//   - ranging over a map (iteration order is randomized by the runtime);
+//   - the global math/rand (and math/rand/v2) source — all randomness
+//     must flow through an explicit, seeded *rand.Rand;
+//   - reading the wall clock (time.Now/Since/Until) — wall time may only
+//     feed gauges, never values, and those reads are confined to
+//     annotated sites (conventionally obs.go files).
+//
+// Escape hatch: //lint:allow determinism -- <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid map iteration, global math/rand, and wall-clock reads in the " +
+		"bit-stable kernel packages",
+	Run: runDeterminism,
+}
+
+// bannedClockFuncs are package-level time functions that read the wall
+// clock or scheduler state.
+var bannedClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randConstructors are the only package-level math/rand symbols the
+// kernels may touch: deterministic construction of explicit generators.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !isDeterministicPkg(p.Pkg.Path) {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := p.TypeOf(n.X)
+				if t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						p.Reportf(n.Range, "range over a map has nondeterministic iteration order in a bit-stable kernel package; iterate sorted keys instead")
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Pkg.Info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				if sig == nil || sig.Recv() != nil {
+					return true // methods on explicit *rand.Rand values are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if bannedClockFuncs[fn.Name()] {
+						p.Reportf(n.Pos(), "time.%s reads the wall clock in a bit-stable kernel package; wall time is gauge-class observability and belongs behind an annotated obs helper", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[fn.Name()] {
+						p.Reportf(n.Pos(), "%s.%s uses the global random source; thread an explicit seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp enforces the floating-point comparison discipline behind the
+// bit-stability story: library code must not compare two computed
+// floating-point values with == or != — rounding makes such comparisons
+// flaky, and the repository's parity suites compare via math.Float64bits
+// or tolerance helpers (mat.Matrix.Equal, tensor.Dense.Equal) instead.
+//
+// Comparisons against compile-time constants (x == 0, frac != 1) are
+// permitted: they are sentinel checks for values that were assigned
+// exactly, not approximate-equality tests. Intentional exact comparisons
+// between computed values (e.g. IEEE-754 edge-case handling) carry a
+// //lint:allow floatcmp -- <reason> annotation.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= between two non-constant floating-point expressions " +
+		"in library code",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	if isToolPkg(p.Pkg.Path) {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatType(p.TypeOf(cmp.X)) || !isFloatType(p.TypeOf(cmp.Y)) {
+				return true
+			}
+			if p.isConstant(cmp.X) || p.isConstant(cmp.Y) {
+				return true // sentinel check against an exact constant
+			}
+			p.Reportf(cmp.OpPos, "%s between two computed floating-point values; compare math.Float64bits or use a tolerance helper", cmp.Op)
+			return true
+		})
+	}
+}
+
+// isConstant reports whether the type checker evaluated e to a
+// compile-time constant.
+func (p *Pass) isConstant(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each golden package under testdata/src/<name> carries positive cases
+// (lines with `// want "re"` expectations), negative cases (conforming
+// code with no expectation — any diagnostic there fails the test), a
+// justified //lint:allow suppression, and — in the determinism package —
+// directive-hygiene cases. The harness requires an exact bijection
+// between diagnostics and expectations, so both firing and silence are
+// asserted.
+
+func TestDeterminismGolden(t *testing.T) {
+	// The directory is named "tucker" so its import path ends in a
+	// kernel-package name and opts into the determinism suffix rule.
+	linttest.Run(t, "tucker", lint.Determinism)
+}
+
+func TestCtxPropGolden(t *testing.T) {
+	linttest.Run(t, "ctxprop", lint.CtxProp)
+}
+
+func TestSpansGolden(t *testing.T) {
+	linttest.Run(t, "spanhygiene", lint.Spans)
+}
+
+func TestFloatCmpGolden(t *testing.T) {
+	linttest.Run(t, "floatcmp", lint.FloatCmp)
+}
+
+func TestQuarantineGolden(t *testing.T) {
+	linttest.Run(t, "quarantine", lint.Quarantine)
+}

@@ -1,0 +1,154 @@
+// Package linttest is the golden-test harness for the m2tdlint analyzer
+// suite, mirroring golang.org/x/tools/go/analysis/analysistest's
+// conventions without the dependency: each package under
+// internal/lint/testdata/src/<name> is loaded through the real
+// lint.Load path (so golden packages type-check against the actual
+// repro/internal/obs and repro/internal/tensor packages), the requested
+// analyzers run, and the diagnostics are matched line-by-line against
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments in the golden sources. A line may carry several expectations;
+// each must be matched by a distinct diagnostic. Diagnostics are matched
+// against their "[analyzer] message" rendering, so expectations can pin
+// the analyzer with `\[determinism\]` or just match message text.
+//
+// Unmatched diagnostics and unsatisfied expectations are both test
+// failures, so the golden packages simultaneously prove that the
+// analyzers fire on violations (positive cases) and stay silent on
+// conforming code (negative cases).
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one parsed `// want "re"` clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the golden package internal/lint/testdata/src/<name>, applies
+// the analyzers, and asserts the diagnostics equal the package's `// want`
+// expectations.
+func Run(t *testing.T, name string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	root, err := lint.ModuleRoot("")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pattern := "./internal/lint/testdata/src/" + name
+	pkgs, err := lint.Load(root, pattern)
+	if err != nil {
+		t.Fatalf("loading golden package %s: %v", pattern, err)
+	}
+	diags := lint.RunPackages(pkgs, analyzers)
+
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		rendered := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, rendered) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at (file, line) whose
+// regexp matches rendered, reporting whether one existed.
+func claim(wants []*expectation, file string, line int, rendered string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != line || w.file != file {
+			continue
+		}
+		if w.re.MatchString(rendered) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every `// want "re" ...` comment from the loaded
+// packages' files, keyed by the comment's own line.
+func collectWants(pkgs []*lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					// Both //-comments and /* */-comments may carry wants;
+					// the block form lets a want share a line with a
+					// //lint:allow directive (the hygiene golden cases).
+					text := c.Text
+					if strings.HasPrefix(text, "//") {
+						text = strings.TrimPrefix(text, "//")
+					} else {
+						text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+					}
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") && text != "want" {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					res, err := parseWantPatterns(strings.TrimPrefix(text, "want"))
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					for _, re := range res {
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantPatterns parses a sequence of Go-quoted regexp literals
+// ("..." or `...`) from the remainder of a want comment.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		quoted, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: expected quoted regexp at %q", s)
+		}
+		pattern, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: unquoting %s: %v", quoted, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: compiling %q: %v", pattern, err)
+		}
+		res = append(res, re)
+		s = s[len(quoted):]
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment carries no pattern")
+	}
+	return res, nil
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsClean is the acceptance gate: the full analyzer suite over
+// the whole module must produce zero findings. This is the in-process
+// equivalent of `go run ./cmd/m2tdlint ./...` exiting 0, so a violation
+// introduced anywhere in the tree (e.g. a stray time.Now() in
+// internal/tucker) fails `go test ./...` as well as the CI lint job.
+//
+// Note that ./... does not match the golden packages — Go tooling skips
+// testdata directories in wildcard expansion — so their deliberate
+// violations stay confined to the golden tests above.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module lint in -short mode")
+	}
+	root, err := lint.ModuleRoot("")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	diags := lint.RunPackages(pkgs, lint.All)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsPkgPath identifies the observability package whose Span type the
+// analyzer polices. The golden testdata packages import the real
+// package, so the same type-identity match covers them.
+const obsPkgPath = "repro/internal/obs"
+
+// Spans enforces the span lifecycle and the counter/gauge taxonomy from
+// DESIGN.md §7:
+//
+//   - every obs span created by Start must be finished in the same
+//     function (Finish, possibly deferred, or WithVitals whose returned
+//     closure is invoked) or handed off (passed as an argument, stored
+//     in a struct/field, or returned) — otherwise the span never records
+//     a duration and the trace tree silently reports a running span;
+//   - a WithVitals finisher bound to a variable must actually be invoked;
+//   - deterministic counters (Add/Set) must not record timing-derived
+//     values (time.Now/Since, Span.Duration, parallel.Strips/Tasks):
+//     those are gauge-class vitals (SetGauge/AddGauge) and would break
+//     the byte-identical Skeleton() contract if they entered counters.
+var Spans = &Analyzer{
+	Name: "spans",
+	Doc: "require obs spans to be finished or handed off in their creating " +
+		"function, and keep timing-derived values out of deterministic counters",
+	Run: runSpans,
+}
+
+func runSpans(p *Pass) {
+	if isToolPkg(p.Pkg.Path) || p.Pkg.Path == obsPkgPath {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanLifecycles(p, fd)
+		}
+		checkCounterTaxonomy(p, file)
+	}
+}
+
+// isSpanMethodCall reports whether call invokes the named method on
+// obs.Span (or *obs.Span).
+func isSpanMethodCall(p *Pass, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	return methodReceiverIs(fn, obsPkgPath, "Span")
+}
+
+// parentAt returns the k-th ancestor from a walk stack (1 = immediate
+// parent), or nil.
+func parentAt(stack []ast.Node, k int) ast.Node {
+	if len(stack) < k {
+		return nil
+	}
+	return stack[len(stack)-k]
+}
+
+// checkSpanLifecycles verifies every span started in fd is finished or
+// handed off within fd (including its nested function literals).
+func checkSpanLifecycles(p *Pass, fd *ast.FuncDecl) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanMethodCall(p, call, "Start") {
+			return
+		}
+		switch parent := parentAt(stack, 1).(type) {
+		case *ast.AssignStmt:
+			checkBoundSpan(p, fd, call, parent)
+		case *ast.ExprStmt:
+			p.Reportf(call.Pos(), "result of Start is discarded; the child span can never be finished")
+		case *ast.SelectorExpr:
+			// Chained call: s.Start("x").Finish() or
+			// s.Start("x").WithVitals(...).
+			if vitalsCall, ok2 := parentAt(stack, 2).(*ast.CallExpr); ok2 {
+				switch parent.Sel.Name {
+				case "Finish":
+					return
+				case "WithVitals":
+					if !vitalsCallResolved(p, fd, vitalsCall, parentAt(stack, 3)) {
+						p.Reportf(vitalsCall.Pos(), "WithVitals finisher is never invoked; the span never records its gauges or finishes")
+					}
+					return
+				}
+			}
+			p.Reportf(call.Pos(), "span from chained Start call is never finished; bind it to a variable and defer its Finish")
+		default:
+			// Argument position, composite literal, return, etc.: the
+			// span is handed off at birth.
+		}
+	})
+}
+
+// checkBoundSpan handles `v := s.Start(...)` (and `v = …`): the bound
+// span must be finished or handed off somewhere in fd.
+func checkBoundSpan(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, assign *ast.AssignStmt) {
+	if len(assign.Lhs) == 1 {
+		if _, isIdent := ast.Unparen(assign.Lhs[0]).(*ast.Ident); !isIdent {
+			return // stored straight into a field/slice: handed off
+		}
+	}
+	obj, blank := singleAssignTarget(p, assign, call)
+	if blank {
+		p.Reportf(call.Pos(), "span from Start is discarded; it can never be finished")
+		return
+	}
+	if obj == nil {
+		p.Reportf(call.Pos(), "span from Start is not bound to a single variable; bind it so it can be finished")
+		return
+	}
+	if !spanIsResolved(p, fd, obj) {
+		p.Reportf(call.Pos(), "span %q is started but never finished or handed off in this function; defer its Finish (or invoke its WithVitals closure)", obj.Name())
+	}
+}
+
+// singleAssignTarget returns the object bound when assign has exactly
+// one LHS identifier and rhs as its sole RHS. blank reports a blank
+// identifier target.
+func singleAssignTarget(p *Pass, assign *ast.AssignStmt, rhs ast.Expr) (obj types.Object, blank bool) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Rhs[0] != rhs {
+		return nil, false
+	}
+	id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if id.Name == "_" {
+		return nil, true
+	}
+	if o := p.Pkg.Info.Defs[id]; o != nil {
+		return o, false
+	}
+	return p.Pkg.Info.Uses[id], false
+}
+
+// spanIsResolved reports whether the span object is finished or handed
+// off somewhere in fd.
+func spanIsResolved(p *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	resolved := false
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		if resolved {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Pkg.Info.Uses[id] != obj {
+			return
+		}
+		switch parent := parentAt(stack, 1).(type) {
+		case *ast.SelectorExpr:
+			methodCall, ok := parentAt(stack, 2).(*ast.CallExpr)
+			if !ok || parent.X != ast.Expr(id) {
+				return
+			}
+			switch parent.Sel.Name {
+			case "Finish":
+				resolved = true
+			case "WithVitals":
+				if vitalsCallResolved(p, fd, methodCall, parentAt(stack, 3)) {
+					resolved = true
+				}
+			}
+		case *ast.CallExpr:
+			// Passed as an argument (not the callee): handed off.
+			for _, arg := range parent.Args {
+				if arg == ast.Expr(id) {
+					resolved = true
+				}
+			}
+		case *ast.KeyValueExpr, *ast.CompositeLit, *ast.ReturnStmt:
+			resolved = true // stored or returned: ownership transferred
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if rhs == ast.Expr(id) {
+					resolved = true // reassigned elsewhere (field, channel, …)
+				}
+			}
+		}
+	})
+	return resolved
+}
+
+// vitalsCallResolved reports whether the closure returned by a WithVitals
+// call is invoked (immediately, via a bound variable, or handed off).
+// parent is the WithVitals call's enclosing node.
+func vitalsCallResolved(p *Pass, fd *ast.FuncDecl, vitalsCall *ast.CallExpr, parent ast.Node) bool {
+	switch pn := parent.(type) {
+	case *ast.CallExpr:
+		// Immediate invocation — span.WithVitals(nil)(), possibly under
+		// a defer — or passed as an argument: both resolve the closure.
+		return true
+	case *ast.DeferStmt, *ast.GoStmt:
+		// `defer span.WithVitals(nil)` defers the snapshot, then drops
+		// the finisher on the floor.
+		return false
+	case *ast.AssignStmt:
+		obj, blank := singleAssignTarget(p, pn, vitalsCall)
+		if blank {
+			return false
+		}
+		if obj == nil {
+			return true // multi-assign or field store: assume handed off
+		}
+		return finisherInvoked(p, fd, obj)
+	case *ast.ExprStmt:
+		return false // result dropped on the floor
+	default:
+		return true // return value, composite literal, …: handed off
+	}
+}
+
+// finisherInvoked reports whether the bound WithVitals closure is called
+// (directly or deferred) or escapes from fd.
+func finisherInvoked(p *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	invoked := false
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		if invoked {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Pkg.Info.Uses[id] != obj {
+			return
+		}
+		switch parent := parentAt(stack, 1).(type) {
+		case *ast.CallExpr:
+			invoked = true // called, or passed along as an argument
+		case *ast.KeyValueExpr, *ast.CompositeLit, *ast.ReturnStmt:
+			invoked = true
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if rhs == ast.Expr(id) {
+					invoked = true
+				}
+			}
+		}
+	})
+	return invoked
+}
+
+// ---- counter/gauge taxonomy ----------------------------------------------
+
+// checkCounterTaxonomy flags deterministic-counter updates (Span.Add /
+// Span.Set) whose value expression derives from timing or scheduling.
+func checkCounterTaxonomy(p *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSpanMethodCall(p, call, "Add") && !isSpanMethodCall(p, call, "Set") {
+			return true
+		}
+		if len(call.Args) < 2 {
+			return true
+		}
+		if src := nondeterministicSource(p, call.Args[1]); src != "" {
+			fn := calleeFunc(p.Pkg.Info, call)
+			p.Reportf(call.Args[1].Pos(), "%s records a timing-derived value (%s) as a deterministic counter; use SetGauge/AddGauge (DESIGN.md §7 taxonomy)", fn.Name(), src)
+		}
+		return true
+	})
+}
+
+// nondeterministicSource scans expr for calls whose results depend on
+// timing or scheduling, returning a description of the first offender.
+func nondeterministicSource(p *Pass, expr ast.Expr) string {
+	offender := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if offender != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "time" && bannedClockFuncs[fn.Name()]:
+			offender = "time." + fn.Name()
+		case methodReceiverIs(fn, obsPkgPath, "Span") && fn.Name() == "Duration":
+			offender = "Span.Duration"
+		case isParallelPoolCounter(fn):
+			offender = fn.Pkg().Name() + "." + fn.Name()
+		}
+		return true
+	})
+	return offender
+}
+
+// isParallelPoolCounter matches the worker-pool accounting functions
+// whose values depend on the worker count and scheduling.
+func isParallelPoolCounter(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "repro/internal/parallel" {
+		return false
+	}
+	return fn.Name() == "Strips" || fn.Name() == "Tasks"
+}

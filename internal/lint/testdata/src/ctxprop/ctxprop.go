@@ -1,0 +1,73 @@
+// Package ctxprop is the context-propagation golden package: it
+// exercises both rules — the F-vs-FCtx sibling rule inside ctx-holding
+// functions, and the ban on minting root contexts in library code.
+package ctxprop
+
+import "context"
+
+// do/doCtx is the sibling pair rule 1 polices.
+
+func do() {}
+
+func doCtx(ctx context.Context) { _ = ctx }
+
+// positive: a ctx-holding caller invoking the base variant drops its
+// context on the floor.
+
+func badCaller(ctx context.Context) {
+	do() // want `\[ctxprop\] do drops the caller's context; call doCtx`
+}
+
+// negative: the Ctx variant called with the caller's context.
+
+func goodCaller(ctx context.Context) {
+	doCtx(ctx)
+}
+
+// negative: callers without a context may use the base variant.
+
+func plainCaller() {
+	do()
+}
+
+// negative: the sanctioned self-implementation pattern — the Ctx variant
+// wrapping its own base primitive (the parallel.ForCtx shape).
+
+func run() {}
+
+func runCtx(ctx context.Context) {
+	_ = ctx
+	run()
+}
+
+// methods: the sibling rule applies to named receiver types too.
+
+type worker struct{}
+
+func (worker) work() {}
+
+func (worker) workCtx(ctx context.Context) { _ = ctx }
+
+func badMethodCaller(ctx context.Context, w worker) {
+	w.work() // want `\[ctxprop\] work drops the caller's context; call workCtx`
+}
+
+func goodMethodCaller(ctx context.Context, w worker) {
+	w.workCtx(ctx)
+}
+
+// rule 2: library code must not mint fresh root contexts.
+
+func badRoot() context.Context {
+	return context.Background() // want `\[ctxprop\] context\.Background mints a fresh root context`
+}
+
+func badTODO() context.Context {
+	return context.TODO() // want `\[ctxprop\] context\.TODO mints a fresh root context`
+}
+
+// suppression: the documented legacy-wrapper escape hatch.
+
+func legacyWrapper() context.Context {
+	return context.Background() //lint:allow ctxprop -- golden suppression case: deliberate legacy wrapper root
+}

@@ -1,0 +1,45 @@
+// Package floatcmp is the float-comparison golden package.
+package floatcmp
+
+// positive: ==/!= between two computed floating-point values.
+
+func eq(a, b float64) bool {
+	return a == b // want `\[floatcmp\] == between two computed floating-point values`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `\[floatcmp\] != between two computed floating-point values`
+}
+
+func eq32(a, b float32) bool {
+	return a == b // want `\[floatcmp\] == between two computed floating-point values`
+}
+
+// negative: sentinel comparisons against exact compile-time constants,
+// integer equality, and tolerance-style comparisons.
+
+func isZero(a float64) bool {
+	return a == 0
+}
+
+func isUnit(a float64) bool {
+	return 1.0 == a
+}
+
+func intEq(a, b int) bool {
+	return a == b
+}
+
+func within(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// suppression: deliberate bit-exact identity carries a justification.
+
+func exactMatch(a, b float64) bool {
+	return a == b //lint:allow floatcmp -- golden suppression case: intentional bit-exact identity
+}

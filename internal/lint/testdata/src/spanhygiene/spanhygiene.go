@@ -1,0 +1,96 @@
+// Package spanhygiene is the span-lifecycle and counter-taxonomy golden
+// package. It imports the real repro/internal/obs and
+// repro/internal/parallel packages, so the analyzer's type-identity
+// matching (obs.Span methods, parallel pool counters) is exercised end
+// to end rather than against stand-ins.
+package spanhygiene
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// positive: discarded and leaked spans.
+
+func discarded(s *obs.Span) {
+	s.Start("discarded") // want `\[spans\] result of Start is discarded`
+}
+
+func leaked(s *obs.Span) {
+	child := s.Start("leak") // want `\[spans\] span "child" is started but never finished`
+	child.Add("cells", 1)
+}
+
+func chainedLeak(s *obs.Span) int64 {
+	return s.Start("peek").Counter("cells") // want `\[spans\] span from chained Start call is never finished`
+}
+
+func deferredSnapshot(s *obs.Span) {
+	defer s.Start("vitals").WithVitals(nil) // want `\[spans\] WithVitals finisher is never invoked`
+}
+
+func boundFinisherUnused(s *obs.Span) {
+	fin := s.Start("vitals").WithVitals(nil) // want `\[spans\] WithVitals finisher is never invoked`
+	if fin == nil {
+		panic("unreachable")
+	}
+}
+
+// negative: finished, deferred, chained-finish, invoked-finisher, and
+// handed-off spans.
+
+func finished(s *obs.Span) {
+	child := s.Start("ok")
+	child.Finish()
+}
+
+func deferred(s *obs.Span) {
+	child := s.Start("ok")
+	defer child.Finish()
+	child.Add("cells", 3)
+}
+
+func chainedFinish(s *obs.Span) {
+	s.Start("ok").Finish()
+}
+
+func vitalsInvoked(s *obs.Span) {
+	defer s.Start("ok").WithVitals(nil)()
+}
+
+func boundFinisherInvoked(s *obs.Span) {
+	fin := s.Start("ok").WithVitals(nil)
+	fin()
+}
+
+func handedOff(s *obs.Span, sink func(*obs.Span)) {
+	child := s.Start("given")
+	sink(child)
+}
+
+func returned(s *obs.Span) *obs.Span {
+	return s.Start("escapes")
+}
+
+// counter/gauge taxonomy: timing- and scheduling-derived values must go
+// through the gauge channel, never the deterministic counters.
+
+func badCounterClock(s *obs.Span, t0 time.Time) {
+	s.Set("elapsed_ns", int64(time.Since(t0))) // want `\[spans\] Set records a timing-derived value \(time\.Since\)`
+}
+
+func badCounterDuration(s *obs.Span, child *obs.Span) {
+	s.Add("dur_ns", int64(child.Duration())) // want `\[spans\] Add records a timing-derived value \(Span\.Duration\)`
+}
+
+func badCounterStrips(s *obs.Span) {
+	s.Set("strips", parallel.Strips()) // want `\[spans\] Set records a timing-derived value \(parallel\.Strips\)`
+}
+
+func goodGauges(s *obs.Span, t0 time.Time) {
+	s.SetGauge("elapsed_ns", int64(time.Since(t0)))
+	s.AddGauge("strips", parallel.Strips())
+	s.Add("cells", 42)
+}

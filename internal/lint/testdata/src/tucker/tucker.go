@@ -1,0 +1,71 @@
+// Package tucker is the determinism golden package: its directory name
+// opts into the bit-stable kernel suffix rule (util.go's
+// deterministicPkgs), so the determinism analyzer treats it exactly like
+// repro/internal/tucker. Deliberate violations below never reach
+// `go build ./...` — wildcards skip testdata — but the package compiles,
+// so linttest can load and type-check it through the real pipeline.
+package tucker
+
+import (
+	"math/rand"
+	"time"
+)
+
+// positive cases: map iteration, wall-clock reads, and the global random
+// source are all banned in kernel packages.
+
+func sumMap(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `\[determinism\] range over a map`
+		s += v
+	}
+	return s
+}
+
+func stamp() time.Time {
+	return time.Now() // want `\[determinism\] time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `\[determinism\] time\.Since reads the wall clock`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `\[determinism\] rand\.Float64 uses the global random source`
+}
+
+// negative cases: slice iteration, explicit seeded generators (the
+// constructors and their methods), and time arithmetic that never reads
+// the clock are all fine.
+
+func sumSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func seeded() float64 {
+	rng := rand.New(rand.NewSource(7))
+	return rng.Float64()
+}
+
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// suppression: a justified //lint:allow directive silences the
+// diagnostic on its line.
+
+func annotated() int64 {
+	return time.Now().UnixNano() //lint:allow determinism -- golden suppression case: wall time feeds a gauge in the real tree
+}
+
+// directive hygiene: a directive missing its "-- reason", or naming an
+// analyzer that does not exist, is itself a diagnostic — these cannot be
+// suppressed (validateDirectives bypasses the allow index).
+
+/* want `\[m2tdlint\] lint:allow directive is missing its justification` */ //lint:allow determinism
+
+/* want `\[m2tdlint\] lint:allow directive names unknown analyzer nosuchcheck` */ //lint:allow nosuchcheck -- hygiene golden case

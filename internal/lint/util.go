@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ---- package classification ----------------------------------------------
+
+// deterministicPkgs are the base names of the kernel packages whose
+// results must be bit-identical at any worker count (DESIGN.md §8). A
+// package qualifies when its import path contains an "internal/" element
+// and its final element is in this set — the suffix rule lets the golden
+// testdata packages under internal/lint/testdata/src/ opt in by name.
+var deterministicPkgs = map[string]bool{
+	"tensor":   true,
+	"mat":      true,
+	"tucker":   true,
+	"core":     true,
+	"stitch":   true,
+	"parallel": true,
+	"ensemble": true,
+}
+
+// isDeterministicPkg reports whether the import path names one of the
+// bit-stable kernel packages.
+func isDeterministicPkg(path string) bool {
+	if !strings.Contains(path, "internal/") {
+		return false
+	}
+	return deterministicPkgs[path[strings.LastIndex(path, "/")+1:]]
+}
+
+// isToolPkg reports whether the import path is a command or example —
+// process entry points where wall clocks, context.Background, and
+// operator-facing output are legitimate.
+func isToolPkg(path string) bool {
+	return strings.Contains(path, "/cmd/") || strings.Contains(path, "/examples/") ||
+		strings.HasPrefix(path, "cmd/") || strings.HasPrefix(path, "examples/")
+}
+
+// isTensorPkg reports whether the import path is the tensor package
+// itself (whose methods implement the quarantine and may touch backing
+// slices freely).
+func isTensorPkg(path string) bool {
+	return strings.HasSuffix(path, "internal/tensor") || path == "repro/internal/tensor"
+}
+
+// ---- stack-tracking AST walk ---------------------------------------------
+
+// walkStack traverses root depth-first, invoking fn with each node and
+// the stack of its ancestors (outermost first, not including n itself).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// ---- type helpers --------------------------------------------------------
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil for builtins, conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isFloatType reports whether t's core type is a floating-point basic
+// type (incl. untyped float).
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// methodReceiverIs reports whether fn is a method whose receiver's named
+// type is pkgPath.typeName.
+func methodReceiverIs(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(sig.Recv().Type(), pkgPath, typeName)
+}
+
+// firstParamIsContext reports whether fn's first (non-receiver) parameter
+// is a context.Context.
+func firstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// lookupMethod finds a method by name on t's named type (value or
+// pointer receiver), or nil.
+func lookupMethod(t types.Type, name string) *types.Func {
+	n := namedOf(t)
+	if n == nil {
+		return nil
+	}
+	for i := 0; i < n.NumMethods(); i++ {
+		if m := n.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// rootSelector unwraps index and slice expressions down to the base
+// selector, e.g. s.Vals[i:j][k] → s.Vals. Returns nil when the base is
+// not a selector.
+func rootSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFuncDecl returns the innermost enclosing *ast.FuncDecl from a
+// walk stack, or nil.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

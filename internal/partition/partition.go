@@ -219,6 +219,7 @@ func sampleConfigs(all [][]int, frac float64, rng *rand.Rand) [][]int {
 // policy override, no checkpointing); fault-tolerant campaigns use
 // GenerateCtx.
 func Generate(space *ensemble.Space, cfg Config, rng *rand.Rand) (*Result, error) {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx API is the root of its own context tree
 	return GenerateCtx(context.Background(), space, cfg, rng, SimOptions{})
 }
 

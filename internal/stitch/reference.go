@@ -52,10 +52,13 @@ func stitchHashJoin(res *partition.Result, zero bool) *tensor.Sparse {
 	idx2 := indexRef(res.Sub2)
 
 	matched := 0
+	//lint:allow determinism -- commutative count accumulation; map iteration order cannot affect the sum
 	for key, entries1 := range idx1 {
 		matched += len(entries1) * len(idx2[key])
 	}
+	//lint:allow quarantine -- capacity preallocation on a freshly created join tensor; entries enter via the quarantine-checked Append path
 	j.Idx = make([]int, 0, matched*space.Order())
+	//lint:allow quarantine -- capacity preallocation on a freshly created join tensor; entries enter via the quarantine-checked Append path
 	j.Vals = make([]float64, 0, matched)
 
 	full := make([]int, space.Order())
@@ -130,6 +133,7 @@ func stitchHashJoin(res *partition.Result, zero bool) *tensor.Sparse {
 // sortedKeysRef returns the map's keys in increasing order.
 func sortedKeysRef(m map[int][]subEntryRef) []int {
 	keys := make([]int, 0, len(m))
+	//lint:allow determinism -- key collection only; the slice is sorted immediately below
 	for k := range m {
 		keys = append(keys, k)
 	}

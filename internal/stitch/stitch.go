@@ -142,7 +142,9 @@ func stitch(res *partition.Result, zero bool) *tensor.Sparse {
 			matched += (idx1.bounds[g1+1] - idx1.bounds[g1]) * (idx2.bounds[p2+1] - idx2.bounds[p2])
 		}
 	}
+	//lint:allow quarantine -- capacity preallocation on a freshly created join tensor; entries enter via the quarantine-checked Append path
 	j.Idx = make([]int, 0, matched*space.Order())
+	//lint:allow quarantine -- capacity preallocation on a freshly created join tensor; entries enter via the quarantine-checked Append path
 	j.Vals = make([]float64, 0, matched)
 
 	full := make([]int, space.Order())

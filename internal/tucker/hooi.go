@@ -56,6 +56,7 @@ func (o HOOIOptions) normalize() HOOIOptions {
 // HOOI is the infallible entry point; cancellable decompositions use
 // HOOICtx (bit-identical when not cancelled).
 func HOOI(x *tensor.Sparse, ranks []int, opts HOOIOptions) Decomposition {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx API is the root of its own context tree
 	dec, err := HOOICtx(context.Background(), x, ranks, opts)
 	if err != nil {
 		// Background contexts are never cancelled; HOOICtx has no other

@@ -28,6 +28,7 @@ func STHOSVD(x *tensor.Sparse, ranks []int) Decomposition { return STHOSVDWorker
 // every kernel preserves the serial floating-point order — bit-identical
 // results for any worker count.
 func STHOSVDWorkers(x *tensor.Sparse, ranks []int, workers int) Decomposition {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx API is the root of its own context tree
 	dec, err := STHOSVDCtx(context.Background(), x, ranks, workers)
 	if err != nil {
 		// Background contexts are never cancelled; STHOSVDCtx has no

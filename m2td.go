@@ -301,6 +301,7 @@ func stageCtx(ctx context.Context, d time.Duration) (context.Context, context.Ca
 // RunCtx on a background context — no cancellation, no stage deadlines
 // beyond those in the config.
 func Run(cfg Config) (*Report, error) {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx facade is the root of its own context tree
 	return RunCtx(context.Background(), cfg)
 }
 
@@ -471,6 +472,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 // simulation budget and returns its accuracy and decomposition time: the
 // comparison target for Run.
 func Baseline(cfg Config, scheme string, budget int) (*Report, error) {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx facade is the root of its own context tree
 	return BaselineCtx(context.Background(), cfg, scheme, budget)
 }
 
@@ -638,6 +640,7 @@ func PartitionCtx(ctx context.Context, space *ensemble.Space, pivot int, opts Pa
 // building block for custom pipelines. It is PartitionCtx on a background
 // context; prefer PartitionCtx in new code.
 func Partition(space *ensemble.Space, pivot int, pivotFrac, freeFrac float64, seed int64) (*partition.Result, error) {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx facade is the root of its own context tree
 	return PartitionCtx(context.Background(), space, pivot, PartitionOptions{
 		PivotFrac: pivotFrac, FreeFrac: freeFrac, Seed: seed,
 	})
@@ -675,6 +678,7 @@ func StitchCtx(ctx context.Context, part *partition.Result, opts StitchOptions) 
 // Stitch constructs the join tensor (or zero-join tensor) for a
 // PF-partitioned pair of sub-ensembles. Prefer StitchCtx in new code.
 func Stitch(part *partition.Result, zeroJoin bool) *tensor.Sparse {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx facade is the root of its own context tree
 	j, err := StitchCtx(context.Background(), part, StitchOptions{ZeroJoin: zeroJoin})
 	if err != nil {
 		// Unreachable: background contexts are never cancelled and
@@ -745,6 +749,7 @@ func DecomposeCtx(ctx context.Context, part *partition.Result, opts DecomposeOpt
 // pool, kernel-plan reuse) instead of the former always-default-options
 // call; results are unchanged. Prefer DecomposeCtx in new code.
 func Decompose(part *partition.Result, method core.Method, rank int, zeroJoin bool) (*core.Result, error) {
+	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx facade is the root of its own context tree
 	return DecomposeCtx(context.Background(), part, DecomposeOptions{
 		Method: Method(method), Rank: rank, ZeroJoin: zeroJoin,
 	})
