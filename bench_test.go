@@ -369,10 +369,11 @@ func BenchmarkIncrementalAppend(b *testing.B) {
 // --- Shared-memory worker-pool benchmarks (internal/parallel) ---
 
 // benchWorkerCounts returns the worker counts to sweep: serial, a couple
-// of fixed fan-outs, and the machine's GOMAXPROCS (deduplicated).
+// of fixed fan-outs, and the machine's logical CPU count (deduplicated),
+// so every run includes the "all cores" point regardless of hardware.
 func benchWorkerCounts() []int {
 	counts := []int{1, 2, 4}
-	if p := runtime.GOMAXPROCS(0); p > 4 {
+	if p := runtime.NumCPU(); p != 1 && p != 2 && p != 4 {
 		counts = append(counts, p)
 	}
 	return counts
@@ -425,6 +426,33 @@ func BenchmarkParallelHOSVD(b *testing.B) {
 				tucker.HOSVDWorkers(s, ranks, w)
 			}
 		})
+	}
+
+	// Strips-vs-workers sweep: expose the reduction-grid axis separately
+	// from the worker axis. More strips mean finer load balancing but more
+	// partial-matrix merges; the default grid (gramMaxStrips) should sit on
+	// the flat part of this surface for every worker count. Results across
+	// strip settings agree only at tolerance level (the merge tree
+	// reassociates), so these sub-benchmarks track time, not bits.
+	stripWorkers := []int{1}
+	if p := runtime.NumCPU(); p > 1 {
+		stripWorkers = append(stripWorkers, p)
+	}
+	for _, ms := range []int{1, 4, 32} {
+		for _, w := range stripWorkers {
+			b.Run(fmt.Sprintf("strips=%d/workers=%d", ms, w), func(b *testing.B) {
+				prev := tensor.SetGramMaxStrips(ms)
+				s.InvalidatePlans()
+				b.Cleanup(func() {
+					tensor.SetGramMaxStrips(prev)
+					s.InvalidatePlans()
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tucker.HOSVDWorkers(s, ranks, w)
+				}
+			})
+		}
 	}
 }
 

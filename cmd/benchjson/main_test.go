@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnapshot writes a BENCH-style JSON file into the test's temp dir.
+func writeSnapshot(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// diffExit runs runDiff with default gate settings and returns the exit
+// code plus captured output.
+func diffExit(t *testing.T, cfg diffConfig, oldPath, newPath string) (int, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := runDiff(cfg, oldPath, newPath, &stdout, &stderr)
+	return code, stdout.String() + stderr.String()
+}
+
+func defaultCfg() diffConfig {
+	return diffConfig{tolerance: 0.25, shapeSlack: 0.05}
+}
+
+func TestRunDiffRegressionExitsOne(t *testing.T) {
+	old := writeSnapshot(t, "old.json", `{"BenchmarkA": {"ns_per_op": 1000, "iterations": 100}}`)
+	cur := writeSnapshot(t, "new.json", `{"BenchmarkA": {"ns_per_op": 2000, "iterations": 100}}`)
+	code, out := diffExit(t, defaultCfg(), old, cur)
+	if code != 1 {
+		t.Fatalf("2x regression: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "regression") {
+		t.Fatalf("output should name the regression:\n%s", out)
+	}
+}
+
+func TestRunDiffImprovementExitsZero(t *testing.T) {
+	old := writeSnapshot(t, "old.json", `{"BenchmarkA": {"ns_per_op": 2000, "iterations": 100}}`)
+	cur := writeSnapshot(t, "new.json", `{"BenchmarkA": {"ns_per_op": 1000, "iterations": 100}}`)
+	if code, out := diffExit(t, defaultCfg(), old, cur); code != 0 {
+		t.Fatalf("2x improvement: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestRunDiffMissingBenchmark(t *testing.T) {
+	old := writeSnapshot(t, "old.json", `{"BenchmarkGone": {"ns_per_op": 1000, "iterations": 100}}`)
+	cur := writeSnapshot(t, "new.json", `{}`)
+	if code, out := diffExit(t, defaultCfg(), old, cur); code != 1 {
+		t.Fatalf("vanished benchmark: exit %d, want 1\n%s", code, out)
+	}
+	cfg := defaultCfg()
+	cfg.allowMissing = true
+	if code, out := diffExit(t, cfg, old, cur); code != 0 {
+		t.Fatalf("vanished benchmark with -allow-missing: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestRunDiffMalformedJSONExitsTwo(t *testing.T) {
+	old := writeSnapshot(t, "old.json", `{"BenchmarkA": {"ns_per_op": 1000, "iterations": 100}}`)
+	bad := writeSnapshot(t, "new.json", `{"BenchmarkA": {`)
+	if code, out := diffExit(t, defaultCfg(), old, bad); code != 2 {
+		t.Fatalf("malformed NEW: exit %d, want 2\n%s", code, out)
+	}
+	if code, out := diffExit(t, defaultCfg(), bad, old); code != 2 {
+		t.Fatalf("malformed OLD: exit %d, want 2\n%s", code, out)
+	}
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if code, out := diffExit(t, defaultCfg(), old, missing); code != 2 {
+		t.Fatalf("unreadable NEW: exit %d, want 2\n%s", code, out)
+	}
+}
+
+func TestRunDiffShapeGate(t *testing.T) {
+	old := writeSnapshot(t, "old.json", `{}`)
+	inverted := writeSnapshot(t, "new.json", `{
+		"BenchmarkParallelHOSVD/workers=1": {"ns_per_op": 11300000, "iterations": 100},
+		"BenchmarkParallelHOSVD/workers=2": {"ns_per_op": 16100000, "iterations": 100},
+		"BenchmarkParallelHOSVD/workers=4": {"ns_per_op": 24800000, "iterations": 100}
+	}`)
+	cfg := defaultCfg()
+	cfg.allowMissing = true
+	cfg.shapes = []string{"BenchmarkParallelHOSVD"}
+	code, out := diffExit(t, cfg, old, inverted)
+	if code != 1 {
+		t.Fatalf("inverted scaling curve: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "inversion") {
+		t.Fatalf("output should name the inversion:\n%s", out)
+	}
+
+	flat := writeSnapshot(t, "flat.json", `{
+		"BenchmarkParallelHOSVD/workers=1": {"ns_per_op": 11700000, "iterations": 100},
+		"BenchmarkParallelHOSVD/workers=2": {"ns_per_op": 10800000, "iterations": 100},
+		"BenchmarkParallelHOSVD/workers=4": {"ns_per_op": 10200000, "iterations": 100}
+	}`)
+	if code, out := diffExit(t, cfg, old, flat); code != 0 {
+		t.Fatalf("monotone curve: exit %d, want 0\n%s", code, out)
+	}
+}

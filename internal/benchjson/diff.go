@@ -1,0 +1,218 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Status classifies one benchmark's old→new comparison.
+type Status string
+
+const (
+	// StatusOK: within tolerance of the baseline.
+	StatusOK Status = "ok"
+	// StatusImproved: measurably faster than the baseline. Never fails.
+	StatusImproved Status = "improved"
+	// StatusRegression: ns/op grew beyond the tolerance.
+	StatusRegression Status = "regression"
+	// StatusAllocRegression: allocs/op grew beyond the allocs tolerance.
+	// Allocation counts are deterministic, so this gate is exact where the
+	// timing gate is statistical.
+	StatusAllocRegression Status = "alloc-regression"
+	// StatusMissing: present in the baseline, absent from the new run —
+	// usually a renamed or deleted benchmark silently dropping out of the
+	// gate. Fails unless AllowMissing is set.
+	StatusMissing Status = "missing"
+	// StatusNew: present only in the new run; recorded for the report but
+	// never a failure (new benchmarks join the baseline on its next
+	// refresh).
+	StatusNew Status = "new"
+)
+
+// DefaultTolerance is the relative ns/op growth allowed before a
+// comparison fails. Checked-in baselines come from different hardware
+// than the machine replaying them, so the default is deliberately loose;
+// tighten per benchmark via DiffOptions.PerBench when a kernel's timing
+// is stable.
+const DefaultTolerance = 0.25
+
+// DiffOptions configures Diff.
+type DiffOptions struct {
+	// Tolerance is the default allowed relative ns/op growth (0.25 =
+	// +25%). Zero means DefaultTolerance; negative means "no timing gate".
+	Tolerance float64
+	// PerBench overrides Tolerance for matching benchmarks. Keys match
+	// exactly or as a name prefix (so "BenchmarkParallelHOSVD" covers its
+	// workers= sub-benchmarks); the longest matching key wins.
+	PerBench map[string]float64
+	// AllocsTolerance is the allowed absolute allocs/op growth for
+	// benchmarks that report allocations in both runs. Allocation counts
+	// are deterministic, so the default 0 is the right gate.
+	AllocsTolerance int64
+	// AllowMissing downgrades baseline benchmarks absent from the new run
+	// from failures to notes.
+	AllowMissing bool
+}
+
+// toleranceFor resolves the effective ns/op tolerance for one benchmark.
+func (o DiffOptions) toleranceFor(name string) float64 {
+	tol := o.Tolerance
+	if tol == 0 {
+		tol = DefaultTolerance
+	}
+	best := -1
+	for key, v := range o.PerBench {
+		if (key == name || strings.HasPrefix(name, key)) && len(key) > best {
+			best = len(key)
+			tol = v
+		}
+	}
+	return tol
+}
+
+// DiffEntry is one benchmark's comparison outcome.
+type DiffEntry struct {
+	Name      string
+	Status    Status
+	Failed    bool
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // NewNs / OldNs; 0 when either side is absent
+	OldAllocs *int64
+	NewAllocs *int64
+	Detail    string
+}
+
+// Diff compares a new benchmark run against a baseline and returns one
+// entry per benchmark name in either run, sorted by name. An entry fails
+// when ns/op grew beyond its tolerance, allocs/op grew beyond the allocs
+// tolerance, or the benchmark vanished from the new run (unless
+// AllowMissing). Improvements and newly added benchmarks never fail.
+func Diff(baseline, current map[string]Result, opts DiffOptions) []DiffEntry {
+	names := make([]string, 0, len(baseline)+len(current))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	entries := make([]DiffEntry, 0, len(names))
+	for _, name := range names {
+		old, inOld := baseline[name]
+		cur, inCur := current[name]
+		e := DiffEntry{Name: name}
+		switch {
+		case !inCur:
+			e.Status = StatusMissing
+			e.OldNs = old.NsPerOp
+			e.OldAllocs = old.AllocsPerOp
+			e.Failed = !opts.AllowMissing
+			e.Detail = "present in baseline, absent from new run"
+		case !inOld:
+			e.Status = StatusNew
+			e.NewNs = cur.NsPerOp
+			e.NewAllocs = cur.AllocsPerOp
+			e.Detail = "not in baseline"
+		default:
+			e.OldNs, e.NewNs = old.NsPerOp, cur.NsPerOp
+			e.OldAllocs, e.NewAllocs = old.AllocsPerOp, cur.AllocsPerOp
+			if old.NsPerOp > 0 {
+				e.Ratio = cur.NsPerOp / old.NsPerOp
+			}
+			tol := opts.toleranceFor(name)
+			switch {
+			case tol >= 0 && old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+tol):
+				e.Status = StatusRegression
+				e.Failed = true
+				e.Detail = fmt.Sprintf("ns/op %.0f -> %.0f (%.2fx, tolerance %.0f%%)",
+					old.NsPerOp, cur.NsPerOp, e.Ratio, tol*100)
+			case old.AllocsPerOp != nil && cur.AllocsPerOp != nil &&
+				*cur.AllocsPerOp > *old.AllocsPerOp+opts.AllocsTolerance:
+				e.Status = StatusAllocRegression
+				e.Failed = true
+				e.Detail = fmt.Sprintf("allocs/op %d -> %d (tolerance +%d)",
+					*old.AllocsPerOp, *cur.AllocsPerOp, opts.AllocsTolerance)
+			case e.Ratio > 0 && e.Ratio < 1:
+				e.Status = StatusImproved
+			default:
+				e.Status = StatusOK
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// AnyFailed reports whether any entry failed.
+func AnyFailed(entries []DiffEntry) bool {
+	for _, e := range entries {
+		if e.Failed {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckMonotone verifies a worker-scaling curve does not invert: among the
+// sub-benchmarks named group+"/workers=N", ns/op must be non-increasing in
+// N up to the relative slack (cur <= prev * (1+slack)). This is the shape
+// gate behind the parallel-scaling fix: adding workers must never make a
+// kernel slower, on any hardware, regardless of absolute timings. It
+// returns a description of each violation; an empty slice means the curve
+// is sound. A group with fewer than two workers= points is itself a
+// violation — the gate must notice when the sweep silently disappears.
+func CheckMonotone(results map[string]Result, group string, slack float64) []string {
+	type point struct {
+		workers int
+		ns      float64
+	}
+	prefix := group + "/workers="
+	var pts []point
+	for name, r := range results {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		w, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		pts = append(pts, point{w, r.NsPerOp})
+	}
+	if len(pts) < 2 {
+		return []string{fmt.Sprintf("%s: found %d workers= sub-benchmarks, need >= 2 for a scaling curve", group, len(pts))}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].workers < pts[b].workers })
+	var problems []string
+	for i := 1; i < len(pts); i++ {
+		prev, cur := pts[i-1], pts[i]
+		if cur.ns > prev.ns*(1+slack) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: scaling inversion — workers=%d %.0f ns/op -> workers=%d %.0f ns/op (%.2fx, slack %.0f%%)",
+				group, prev.workers, prev.ns, cur.workers, cur.ns, cur.ns/prev.ns, slack*100))
+		}
+	}
+	return problems
+}
+
+// LoadFile reads a BENCH_*.json snapshot (benchmark name → Result, as
+// written by cmd/benchjson).
+func LoadFile(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results map[string]Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}

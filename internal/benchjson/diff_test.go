@@ -1,0 +1,165 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+// res builds a Result with optional allocs/op (negative = not measured).
+func res(ns float64, allocs int64) Result {
+	r := Result{NsPerOp: ns, Iterations: 100}
+	if allocs >= 0 {
+		r.AllocsPerOp = &allocs
+	}
+	return r
+}
+
+// entryFor finds one named entry or fails the test.
+func entryFor(t *testing.T, entries []DiffEntry, name string) DiffEntry {
+	t.Helper()
+	for _, e := range entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no diff entry for %q in %+v", name, entries)
+	return DiffEntry{}
+}
+
+func TestDiffDetectsTimingRegression(t *testing.T) {
+	old := map[string]Result{"BenchmarkA": res(1000, -1)}
+	cur := map[string]Result{"BenchmarkA": res(1400, -1)}
+	entries := Diff(old, cur, DiffOptions{Tolerance: 0.25})
+	e := entryFor(t, entries, "BenchmarkA")
+	if e.Status != StatusRegression || !e.Failed {
+		t.Fatalf("1000->1400 ns at 25%% tolerance: got status %q failed=%v, want regression/failed", e.Status, e.Failed)
+	}
+	if !AnyFailed(entries) {
+		t.Fatal("AnyFailed = false for a failing diff")
+	}
+}
+
+func TestDiffWithinToleranceAndImprovementPass(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkSlow":   res(1000, -1),
+		"BenchmarkFaster": res(1000, -1),
+	}
+	cur := map[string]Result{
+		"BenchmarkSlow":   res(1200, -1), // +20% < 25% tolerance
+		"BenchmarkFaster": res(400, -1),  // big improvement
+	}
+	entries := Diff(old, cur, DiffOptions{Tolerance: 0.25})
+	if AnyFailed(entries) {
+		t.Fatalf("within-tolerance + improvement should pass: %+v", entries)
+	}
+	if e := entryFor(t, entries, "BenchmarkFaster"); e.Status != StatusImproved {
+		t.Fatalf("2.5x speedup: got status %q, want improved", e.Status)
+	}
+	if e := entryFor(t, entries, "BenchmarkSlow"); e.Status != StatusOK {
+		t.Fatalf("+20%% at 25%% tolerance: got status %q, want ok", e.Status)
+	}
+}
+
+func TestDiffPerBenchToleranceOverride(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkNoisy/workers=4": res(1000, -1),
+		"BenchmarkTight":           res(1000, -1),
+	}
+	cur := map[string]Result{
+		"BenchmarkNoisy/workers=4": res(1700, -1), // +70%
+		"BenchmarkTight":           res(1060, -1), // +6%
+	}
+	entries := Diff(old, cur, DiffOptions{
+		Tolerance: 0.25,
+		PerBench: map[string]float64{
+			"BenchmarkNoisy": 0.80, // prefix key covers the sub-benchmark
+			"BenchmarkTight": 0.05,
+		},
+	})
+	if e := entryFor(t, entries, "BenchmarkNoisy/workers=4"); e.Failed {
+		t.Fatalf("+70%% under an 80%% prefix override should pass: %+v", e)
+	}
+	if e := entryFor(t, entries, "BenchmarkTight"); !e.Failed {
+		t.Fatalf("+6%% under a 5%% override should fail: %+v", e)
+	}
+}
+
+func TestDiffAllocsGate(t *testing.T) {
+	old := map[string]Result{"BenchmarkGram": res(1000, 10)}
+	cur := map[string]Result{"BenchmarkGram": res(1000, 46)}
+	entries := Diff(old, cur, DiffOptions{Tolerance: 0.25})
+	e := entryFor(t, entries, "BenchmarkGram")
+	if e.Status != StatusAllocRegression || !e.Failed {
+		t.Fatalf("10 -> 46 allocs/op at tolerance 0: got %q failed=%v", e.Status, e.Failed)
+	}
+	// Within an explicit allocs budget it passes.
+	entries = Diff(old, cur, DiffOptions{Tolerance: 0.25, AllocsTolerance: 40})
+	if e := entryFor(t, entries, "BenchmarkGram"); e.Failed {
+		t.Fatalf("10 -> 46 allocs/op at tolerance +40 should pass: %+v", e)
+	}
+	// A benchmark that stops reporting allocs is not gated on them.
+	cur = map[string]Result{"BenchmarkGram": res(1000, -1)}
+	if e := entryFor(t, Diff(old, cur, DiffOptions{}), "BenchmarkGram"); e.Failed {
+		t.Fatalf("missing allocs measurement should not fail the allocs gate: %+v", e)
+	}
+}
+
+func TestDiffMissingBenchmark(t *testing.T) {
+	old := map[string]Result{"BenchmarkGone": res(1000, -1)}
+	cur := map[string]Result{}
+	e := entryFor(t, Diff(old, cur, DiffOptions{}), "BenchmarkGone")
+	if e.Status != StatusMissing || !e.Failed {
+		t.Fatalf("baseline benchmark absent from new run: got %q failed=%v, want missing/failed", e.Status, e.Failed)
+	}
+	e = entryFor(t, Diff(old, cur, DiffOptions{AllowMissing: true}), "BenchmarkGone")
+	if e.Status != StatusMissing || e.Failed {
+		t.Fatalf("AllowMissing should downgrade to a note: got %q failed=%v", e.Status, e.Failed)
+	}
+}
+
+func TestDiffNewBenchmarkNeverFails(t *testing.T) {
+	old := map[string]Result{}
+	cur := map[string]Result{"BenchmarkFresh": res(1000, 5)}
+	e := entryFor(t, Diff(old, cur, DiffOptions{}), "BenchmarkFresh")
+	if e.Status != StatusNew || e.Failed {
+		t.Fatalf("benchmark only in new run: got %q failed=%v, want new/pass", e.Status, e.Failed)
+	}
+}
+
+func TestDiffNegativeToleranceDisablesTimingGate(t *testing.T) {
+	old := map[string]Result{"BenchmarkA": res(100, -1)}
+	cur := map[string]Result{"BenchmarkA": res(10000, -1)}
+	if e := entryFor(t, Diff(old, cur, DiffOptions{Tolerance: -1}), "BenchmarkA"); e.Failed {
+		t.Fatalf("negative tolerance should disable the timing gate: %+v", e)
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	good := map[string]Result{
+		"BenchmarkHOSVD/workers=1": res(1000, -1),
+		"BenchmarkHOSVD/workers=2": res(900, -1),
+		"BenchmarkHOSVD/workers=4": res(930, -1), // +3.3% over w2, inside 5% slack
+		"BenchmarkHOSVD/other":     res(5, -1),   // ignored: not workers=N
+	}
+	if problems := CheckMonotone(good, "BenchmarkHOSVD", 0.05); len(problems) != 0 {
+		t.Fatalf("flat-to-improving curve flagged: %v", problems)
+	}
+
+	inverted := map[string]Result{
+		"BenchmarkHOSVD/workers=1": res(11300, -1),
+		"BenchmarkHOSVD/workers=2": res(16100, -1),
+		"BenchmarkHOSVD/workers=4": res(24800, -1),
+	}
+	problems := CheckMonotone(inverted, "BenchmarkHOSVD", 0.05)
+	if len(problems) != 2 {
+		t.Fatalf("the seed's inverted curve should produce 2 violations, got %v", problems)
+	}
+	if !strings.Contains(problems[0], "inversion") {
+		t.Fatalf("violation text should name the inversion: %q", problems[0])
+	}
+
+	// A vanished sweep must itself be a violation, not a silent pass.
+	if problems := CheckMonotone(map[string]Result{}, "BenchmarkHOSVD", 0.05); len(problems) != 1 {
+		t.Fatalf("missing sweep should be one violation, got %v", problems)
+	}
+}

@@ -74,9 +74,12 @@ func DecomposeFactored(p *partition.Result, opts Options) (*Result, error) {
 	// Project each sub-tensor through its own modes' factors; the two
 	// projections are independent and run concurrently on the shared pool.
 	var g1, g2 *tensor.Dense
+	// Split the budget across the concurrent projections (scheduling only;
+	// the TTM kernels are bit-stable for any worker count).
+	pair := parallel.SplitWorkers(opts.Workers, 2)
 	parallel.Do(opts.Workers,
-		func() { g1 = projectSub(p.Sub1, factors, opts.Workers) },
-		func() { g2 = projectSub(p.Sub2, factors, opts.Workers) },
+		func() { g1 = projectSub(p.Sub1, factors, pair) },
+		func() { g2 = projectSub(p.Sub2, factors, pair) },
 	)
 
 	// Free-mode row sums: sampled configurations for plain join, the full

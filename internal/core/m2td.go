@@ -206,6 +206,11 @@ func buildFactors(p *partition.Result, method Method, ranks []int, workers int, 
 	k := len(cfg.Pivots)
 	factors := make([]*mat.Matrix, len(ranks))
 	tasks := make([]func(), 0, len(ranks))
+	// Worker-budget split across the concurrent per-mode tasks; pivot
+	// tasks split once more across their x1/x2 pair. Scheduling only —
+	// the kernels are bit-stable for any worker count.
+	inner := parallel.SplitWorkers(workers, len(ranks))
+	pair := parallel.SplitWorkers(inner, 2)
 	for i, m := range cfg.Pivots {
 		i, m := i, m
 		r := ranks[m]
@@ -219,23 +224,23 @@ func buildFactors(p *partition.Result, method Method, ranks []int, workers int, 
 			switch method {
 			case AVG:
 				var u1, u2 *mat.Matrix
-				parallel.Do(workers,
-					func() { defer c1.Finish(); u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
-					func() { defer c2.Finish(); u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
+				parallel.Do(inner,
+					func() { defer c1.Finish(); u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, pair) },
+					func() { defer c2.Finish(); u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, pair) },
 				)
 				factors[m] = mat.Average(u1, u2)
 			case CONCAT:
 				var g1, g2 *mat.Matrix
-				parallel.Do(workers,
-					func() { defer c1.Finish(); g1 = tensor.ModeGramWorkers(p.Sub1.Tensor, i, workers) },
-					func() { defer c2.Finish(); g2 = tensor.ModeGramWorkers(p.Sub2.Tensor, i, workers) },
+				parallel.Do(inner,
+					func() { defer c1.Finish(); g1 = tensor.ModeGramWorkers(p.Sub1.Tensor, i, pair) },
+					func() { defer c2.Finish(); g2 = tensor.ModeGramWorkers(p.Sub2.Tensor, i, pair) },
 				)
 				factors[m] = mat.LeadingEigenvectors(mat.Add(g1, g2), r)
 			case SELECT:
 				var u1, u2 *mat.Matrix
-				parallel.Do(workers,
-					func() { defer c1.Finish(); u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, workers) },
-					func() { defer c2.Finish(); u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, workers) },
+				parallel.Do(inner,
+					func() { defer c1.Finish(); u1 = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, i, r, pair) },
+					func() { defer c2.Finish(); u2 = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, i, r, pair) },
 				)
 				factors[m] = RowSelect(u1, u2)
 			}
@@ -248,7 +253,7 @@ func buildFactors(p *partition.Result, method Method, ranks []int, workers int, 
 		ms.Set("sub", 1)
 		tasks = append(tasks, func() {
 			defer ms.Finish()
-			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, k+i, ranks[m], workers)
+			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub1.Tensor, k+i, ranks[m], inner)
 		})
 	}
 	for i, m := range cfg.Free2 {
@@ -258,7 +263,7 @@ func buildFactors(p *partition.Result, method Method, ranks []int, workers int, 
 		ms.Set("sub", 2)
 		tasks = append(tasks, func() {
 			defer ms.Finish()
-			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, k+i, ranks[m], workers)
+			factors[m] = tensor.LeadingModeVectorsWorkers(p.Sub2.Tensor, k+i, ranks[m], inner)
 		})
 	}
 	parallel.Do(workers, tasks...)

@@ -37,10 +37,10 @@ var bannedClockFuncs = map[string]bool{
 // randConstructors are the only package-level math/rand symbols the
 // kernels may touch: deterministic construction of explicit generators.
 var randConstructors = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true, // math/rand/v2
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
 	"NewChaCha8": true,
 }
 

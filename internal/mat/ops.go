@@ -60,13 +60,15 @@ func Mul(a, b *Matrix) *Matrix { return MulWorkers(a, b, 0) }
 // partitioned across workers (disjoint writes), and within a row block the
 // k dimension is processed in ascending panels, so every output element
 // accumulates its k contributions in exactly the serial ikj order —
-// bit-identical results for any worker count.
+// bit-identical results for any worker count. Fan-out is grained by the
+// autotuned per-row cost, so the small I_n×I_n products in the
+// eigensolver path never spawn goroutines they cannot amortise.
 func MulWorkers(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	parallel.For(a.Rows, workers, func(i0, i1 int) {
+	parallel.ForGrain(a.Rows, workers, parallel.AutoGrain(float64(a.Cols)*float64(b.Cols)), func(i0, i1 int) {
 		for kk := 0; kk < a.Cols; kk += mulBlockK {
 			kend := kk + mulBlockK
 			if kend > a.Cols {
@@ -103,7 +105,7 @@ func MulTransAWorkers(a, b *Matrix, workers int) *Matrix {
 		panic(fmt.Sprintf("mat: MulTransA shape mismatch (%d×%d)ᵀ · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	parallel.For(a.Cols, workers, func(i0, i1 int) {
+	parallel.ForGrain(a.Cols, workers, parallel.AutoGrain(float64(a.Rows)*float64(b.Cols)), func(i0, i1 int) {
 		for k := 0; k < a.Rows; k++ {
 			arow := a.Row(k)
 			brow := b.Row(k)
@@ -134,7 +136,7 @@ func MulTransBWorkers(a, b *Matrix, workers int) *Matrix {
 		panic(fmt.Sprintf("mat: MulTransB shape mismatch %d×%d · (%d×%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	parallel.For(a.Rows, workers, func(i0, i1 int) {
+	parallel.ForGrain(a.Rows, workers, parallel.AutoGrain(float64(b.Rows)*float64(a.Cols)), func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			arow := a.Row(i)
 			orow := out.Row(i)
@@ -171,7 +173,7 @@ func MulVec(a *Matrix, x []float64) []float64 {
 // Transpose returns aᵀ.
 func Transpose(a *Matrix) *Matrix {
 	out := New(a.Cols, a.Rows)
-	parallel.ForGrain(a.Rows, 0, 64, func(i0, i1 int) {
+	parallel.ForGrain(a.Rows, 0, parallel.AutoGrain(float64(a.Cols)), func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			for j := 0; j < a.Cols; j++ {
 				out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]

@@ -14,6 +14,10 @@ var (
 		"Tasks executed by the shared worker pool (Do/DoCtx).")
 	workersActive = obs.Default.Gauge("m2td_parallel_workers_active",
 		"Worker goroutines (or inline callers) currently executing pool work.")
+	reduceStripsTotal = obs.Default.Counter("m2td_parallel_reduce_strips_total",
+		"Input strips folded into private partial accumulators by ReduceStrips.")
+	reduceMergesTotal = obs.Default.Counter("m2td_parallel_reduce_merges_total",
+		"Pairwise partial-accumulator merges performed by ReduceStrips' fixed tree.")
 )
 
 // Strips returns the process-wide count of index strips executed by the

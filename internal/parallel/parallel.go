@@ -28,22 +28,112 @@ package parallel
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
 
 // defaultWorkers holds the process-wide default worker count; 0 means
-// "use runtime.GOMAXPROCS(0)".
+// "use the M2TD_WORKERS environment override, else runtime.GOMAXPROCS(0)".
 var defaultWorkers atomic.Int64
 
+// envWorkers reads the M2TD_WORKERS environment override once. It exists
+// so CI can sweep the whole test suite across worker counts (the faults
+// job runs the acceptance tests at M2TD_WORKERS ∈ {1, 3, NumCPU} under
+// -race) without threading a knob through every entry point.
+var envWorkers = sync.OnceValue(func() int {
+	if s := os.Getenv("M2TD_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+})
+
 // DefaultWorkers returns the process-wide default worker count:
-// runtime.GOMAXPROCS(0) unless overridden by SetDefaultWorkers.
+// runtime.GOMAXPROCS(0) unless overridden by SetDefaultWorkers or the
+// M2TD_WORKERS environment variable (SetDefaultWorkers wins).
 func DefaultWorkers() int {
 	if n := defaultWorkers.Load(); n > 0 {
 		return int(n)
 	}
+	if n := envWorkers(); n > 0 {
+		return n
+	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// fanoutCap bounds how many goroutines a single For/Do call actually
+// spawns; 0 means "use runtime.GOMAXPROCS(0)". See SetFanoutCap.
+var fanoutCap atomic.Int64
+
+// FanoutCap returns the per-call goroutine fan-out bound:
+// runtime.GOMAXPROCS(0) unless overridden by SetFanoutCap.
+func FanoutCap() int {
+	if n := fanoutCap.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetFanoutCap overrides the per-call goroutine fan-out bound (n <= 0
+// restores the GOMAXPROCS default) and returns the previous override (0 if
+// none was set). The cap is pure scheduling: every result-bearing grid —
+// For's output partitions are write-disjoint, Reduce's chunk grid and
+// ReduceStrips' strip grid are fixed independently of the worker count —
+// is unchanged by it, so capping never changes a single output bit. The
+// bit-stability suites raise the cap above GOMAXPROCS so the race
+// detector sees real goroutine interleavings even on small machines;
+// production code leaves it alone, which keeps a workers=8 request on a
+// 1-CPU container from paying for 8 goroutines that cannot run in
+// parallel.
+func SetFanoutCap(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(fanoutCap.Swap(int64(n)))
+}
+
+// Fanout resolves a workers knob to the number of goroutines a For/Do
+// call would actually spawn for it: the resolved worker count, capped by
+// FanoutCap. Kernels use it to decide whether a parallel code path can
+// pay off at all — when Fanout(workers) is 1 there is no available
+// parallelism, and any setup cost a parallel path front-loads (plan
+// compilation, partial-buffer pools) is a pure loss over the serial
+// path.
+func Fanout(workers int) int {
+	return fanout(workers)
+}
+
+// fanout resolves a workers knob to the number of goroutines worth
+// spawning: the resolved worker count, capped by FanoutCap.
+func fanout(workers int) int {
+	w := Resolve(workers)
+	if c := FanoutCap(); w > c {
+		w = c
+	}
+	return w
+}
+
+// SplitWorkers divides a worker budget across tasks that will each fan
+// out internally: it returns the per-task inner worker count
+// ceil(workers/min(tasks, workers)), at least 1. Task fan-outs (e.g.
+// HOSVD's per-mode factor extractions, M2TD's concurrent X₁/X₂
+// sub-decompositions) pass the result to their nested kernels so a
+// workers=W request occupies ~W goroutines in total instead of W per
+// task. Purely a scheduling decision — worker counts never change
+// results.
+func SplitWorkers(workers, tasks int) int {
+	w := Resolve(workers)
+	if tasks < 1 {
+		tasks = 1
+	}
+	if tasks > w {
+		tasks = w
+	}
+	return (w + tasks - 1) / tasks
 }
 
 // SetDefaultWorkers overrides the process-wide default worker count used
@@ -100,7 +190,12 @@ func (c *capture) repanic(kind string) {
 // so kernels that write disjoint outputs per index are deterministic under
 // any worker count. fn is never invoked with an empty range; with a single
 // effective worker it runs inline as fn(0, n). workers <= 0 selects the
-// package default; the effective worker count is also capped at n.
+// package default; the effective worker count is also capped at n and at
+// FanoutCap (goroutines beyond the scheduler's parallelism only add
+// overhead). The cap moves chunk boundaries, never how an index is
+// computed — For kernels write disjoint outputs per index, and
+// reductions layer their own worker-independent grids on top — so it
+// cannot change results.
 //
 // For is for loops whose per-index work is substantial (a tensor fiber, a
 // matrix row, a whole mode). For fine-grained element loops use ForGrain,
@@ -112,7 +207,7 @@ func For(n, workers int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	workers = Resolve(workers)
+	workers = fanout(workers)
 	if workers > n {
 		workers = n
 	}
@@ -178,17 +273,22 @@ func Do(workers int, tasks ...func()) {
 	if n == 0 {
 		return
 	}
-	workers = Resolve(workers)
+	workers = fanout(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		workersActive.Add(1)
 		defer workersActive.Add(-1)
+		var pc capture
 		for _, t := range tasks {
 			tasksTotal.Inc()
-			t()
+			func() {
+				defer pc.recover()
+				t()
+			}()
 		}
+		pc.repanic("task")
 		return
 	}
 	var (

@@ -197,8 +197,14 @@ func TestReduceEmptyAndTiny(t *testing.T) {
 }
 
 func TestDefaultWorkers(t *testing.T) {
-	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("DefaultWorkers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	// The baseline default is GOMAXPROCS unless the process was started
+	// with an M2TD_WORKERS override (the CI faults job sweeps it).
+	want := runtime.GOMAXPROCS(0)
+	if n := envWorkers(); n > 0 {
+		want = n
+	}
+	if got := DefaultWorkers(); got != want {
+		t.Fatalf("DefaultWorkers() = %d, want %d (GOMAXPROCS or M2TD_WORKERS)", got, want)
 	}
 	SetDefaultWorkers(3)
 	if got := DefaultWorkers(); got != 3 {
@@ -211,7 +217,25 @@ func TestDefaultWorkers(t *testing.T) {
 		t.Fatalf("Resolve(7) = %d, want 7", got)
 	}
 	SetDefaultWorkers(0)
-	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("after reset: %d", got)
+	if got := DefaultWorkers(); got != want {
+		t.Fatalf("after reset: %d, want %d", got, want)
+	}
+}
+
+func TestFanoutExport(t *testing.T) {
+	prev := SetFanoutCap(2)
+	defer SetFanoutCap(prev)
+	if got := Fanout(8); got != 2 {
+		t.Fatalf("Fanout(8) under cap 2 = %d, want 2", got)
+	}
+	if got := Fanout(1); got != 1 {
+		t.Fatalf("Fanout(1) = %d, want 1", got)
+	}
+	SetFanoutCap(16)
+	if got := Fanout(8); got != 8 {
+		t.Fatalf("Fanout(8) under cap 16 = %d, want 8 (workers bind first)", got)
+	}
+	if got := Fanout(0); got != Resolve(0) {
+		t.Fatalf("Fanout(0) = %d, want Resolve(0) = %d under a high cap", got, Resolve(0))
 	}
 }

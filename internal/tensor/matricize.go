@@ -1,9 +1,57 @@
 package tensor
 
 import (
+	"sync"
+
 	"repro/internal/mat"
 	"repro/internal/parallel"
 )
+
+// Pooled Gram reduction scratch. Strip partials and fiber buffers recycle
+// through sync.Pool so steady-state kernel calls allocate nothing beyond
+// their output matrix regardless of the worker count (the allocs/op
+// regression tests pin this down). Pool order is nondeterministic but
+// irrelevant: every buffer is zeroed (or fully overwritten) before use.
+
+// gramPool recycles sparse-Gram strip partials (rows² float64 each).
+var gramPool sync.Pool
+
+func gramPartialGet(size int) *[]float64 {
+	p, _ := gramPool.Get().(*[]float64)
+	if p == nil || cap(*p) < size {
+		b := make([]float64, size)
+		return &b
+	}
+	b := (*p)[:size]
+	clear(b)
+	*p = b
+	return p
+}
+
+func gramPartialPut(p *[]float64) { gramPool.Put(p) }
+
+// denseGramPartial is one dense-Gram strip's scratch: the partial Gram
+// accumulator plus the fiber load buffer.
+type denseGramPartial struct {
+	gram  []float64
+	fiber []float64
+}
+
+// denseGramPool recycles dense-Gram strip scratch.
+var denseGramPool sync.Pool
+
+func denseGramPartialGet(rows int) *denseGramPartial {
+	p, _ := denseGramPool.Get().(*denseGramPartial)
+	if p == nil || cap(p.gram) < rows*rows || cap(p.fiber) < rows {
+		return &denseGramPartial{gram: make([]float64, rows*rows), fiber: make([]float64, rows)}
+	}
+	p.gram = p.gram[:rows*rows]
+	clear(p.gram)
+	p.fiber = p.fiber[:rows]
+	return p
+}
+
+func denseGramPartialPut(p *denseGramPartial) { denseGramPool.Put(p) }
 
 // Matricize returns the mode-n matricization X(n) of a dense tensor as an
 // I_n × Π_{k≠n} I_k matrix. It runs on the package-default worker pool;
@@ -19,7 +67,7 @@ func MatricizeWorkers(d *Dense, n, workers int) *mat.Matrix {
 	rows := shape[n]
 	cols := shape.MatricizeCols(n)
 	out := mat.New(rows, cols)
-	parallel.ForGrain(len(d.Data), workers, 4096, func(lo, hi int) {
+	parallel.ForGrain(len(d.Data), workers, parallel.AutoGrain(4*float64(shape.Order())), func(lo, hi int) {
 		idx := make([]int, shape.Order())
 		for lin := lo; lin < hi; lin++ {
 			v := d.Data[lin]
@@ -89,12 +137,21 @@ func ModeGram(s *Sparse, n int) *mat.Matrix { return ModeGramWorkers(s, n, 0) }
 // every subsequent kernel call — one HOSVD no longer pays one O(nnz log
 // nnz) sort per mode per call, and HOOI sweeps pay none at all.
 //
-// Determinism: within one column group the contribution to G is the outer
-// product of the group's sparse rows; the accumulation is partitioned by
-// OUTPUT Gram row — each worker scans the column groups in ascending order
-// and accumulates only the rows it owns, reproducing the serial
-// floating-point order exactly. Results are bit-identical for any worker
-// count (and to the pre-plan implementation).
+// Parallelism: workers claim contiguous runs of the plan's reduction
+// strips (entry-balanced group ranges, see ModePlan.Strips), accumulate
+// each strip's outer products into a private pooled I_n×I_n partial, and
+// the partials combine through parallel.ReduceStrips' fixed pairwise
+// tree. Total work is O(nnz·group) regardless of the worker count — the
+// previous output-row partition made every worker rescan ALL entries and
+// keep only its rows, multiplying total work by the worker count and
+// scaling backwards (BENCH_2.json).
+//
+// Determinism: the strip grid and merge tree depend only on the plan, so
+// results are bit-identical for any worker count. Single-strip plans
+// (nnz < 2×gramStripGrain) take the undivided serial path, which is
+// bit-identical to the pre-strip implementation; multi-strip results
+// differ from the old serial order only by the grid's fixed
+// reassociation (tolerance-level), and never vary run to run.
 func ModeGramWorkers(s *Sparse, n, workers int) *mat.Matrix {
 	rows := s.Shape[n]
 	g := mat.New(rows, rows)
@@ -103,23 +160,43 @@ func ModeGramWorkers(s *Sparse, n, workers int) *mat.Matrix {
 	}
 	p := s.PlanMode(n, workers)
 	bounds, prow, pval := p.Bounds, p.Rows, p.Vals
-	parallel.For(rows, workers, func(r0, r1 int) {
-		for gi := 0; gi+1 < len(bounds); gi++ {
-			start, end := bounds[gi], bounds[gi+1]
-			for a := start; a < end; a++ {
-				ra := prow[a]
-				if ra < r0 || ra >= r1 {
-					continue
-				}
-				ga := g.Row(ra)
-				va := pval[a]
-				for b := start; b < end; b++ {
-					ga[prow[b]] += va * pval[b]
-				}
+	if p.NumStrips() <= 1 {
+		gramAccumulate(g.Data, rows, bounds, prow, pval, 0, p.NumGroups())
+		return g
+	}
+	out := parallel.ReduceStrips(p.Strips, workers,
+		func(int) *[]float64 { return gramPartialGet(rows * rows) },
+		func(partial *[]float64, _, g0, g1 int) {
+			gramAccumulate(*partial, rows, bounds, prow, pval, g0, g1)
+		},
+		func(into, from *[]float64) *[]float64 {
+			a, b := *into, *from
+			for i, v := range b {
+				a[i] += v
+			}
+			return into
+		},
+		gramPartialPut,
+	)
+	copy(g.Data, *out)
+	gramPartialPut(out)
+	return g
+}
+
+// gramAccumulate folds column groups [g0, g1) of a mode plan into the
+// rows×rows Gram accumulator gm: groups ascending, entries in plan
+// (storage) order — the serial floating-point order within a strip.
+func gramAccumulate(gm []float64, rows int, bounds, prow []int, pval []float64, g0, g1 int) {
+	for gi := g0; gi < g1; gi++ {
+		start, end := bounds[gi], bounds[gi+1]
+		for a := start; a < end; a++ {
+			row := gm[prow[a]*rows:][:rows]
+			va := pval[a]
+			for b := start; b < end; b++ {
+				row[prow[b]] += va * pval[b]
 			}
 		}
-	})
-	return g
+	}
 }
 
 // ModeGramDense computes X(n)·X(n)ᵀ for a dense tensor without allocating
@@ -133,14 +210,23 @@ func ModeGramDense(d *Dense, n int) *mat.Matrix { return ModeGramDenseWorkers(d,
 // base(f) = (f/inner)·inner·I_n + f%inner with inner = Π_{k>n} I_k, so the
 // enumeration needs no MultiIndex decode and visits no non-base element.
 // The all-zero-fiber scan is hoisted out of the per-worker loop: one
-// shared pass marks nonzero fibers (write-disjoint), the base list is
-// assembled once in ascending order, and each worker then accumulates only
-// its slab of OUTPUT Gram rows over that shared list — the per-worker cost
-// drops from O(total) decodes to O(#nonzero-fibers · I_n) reads.
+// shared pass marks nonzero fibers (write-disjoint) and the base list is
+// assembled once in ascending order.
 //
-// Per-cell accumulation visits nonzero fibers in ascending base order,
-// exactly the serial (and pre-stride-walk) floating-point order — results
-// are bit-identical for any worker count.
+// The accumulation strips the BASE LIST: workers claim contiguous strip
+// runs (parallel.UniformStripBounds over the bases, a pure function of
+// the input), fold each strip's fibers — loaded once into pooled scratch
+// — into a private pooled I_n×I_n partial, and the partials combine
+// through parallel.ReduceStrips' fixed pairwise tree. The previous
+// output-row partition made every worker reload EVERY fiber and keep its
+// row slab, duplicating the fiber loads per worker (ns/op and allocs/op
+// both grew with the worker count in BENCH_2.json); now each fiber is
+// loaded exactly once regardless of workers, and all scratch is pooled.
+//
+// Determinism: the strip grid and merge tree depend only on the input,
+// so results are bit-identical for any worker count. Single-strip inputs
+// (fewer than 2×denseGramStripGrain nonzero fibers) take the undivided
+// serial path, bit-identical to the pre-strip implementation.
 func ModeGramDenseWorkers(d *Dense, n, workers int) *mat.Matrix {
 	rows := d.Shape[n]
 	g := mat.New(rows, rows)
@@ -157,7 +243,7 @@ func ModeGramDenseWorkers(d *Dense, n, workers int) *mat.Matrix {
 
 	// Hoisted phase: mark nonzero fibers once (disjoint writes).
 	nzMark := make([]bool, numFibers)
-	parallel.ForGrain(numFibers, workers, 256, func(lo, hi int) {
+	parallel.ForGrain(numFibers, workers, parallel.AutoGrain(float64(rows)), func(lo, hi int) {
 		q, r := lo/inner, lo%inner
 		base := q*inner*rows + r
 		for f := lo; f < hi; f++ {
@@ -196,27 +282,60 @@ func ModeGramDenseWorkers(d *Dense, n, workers int) *mat.Matrix {
 		return g
 	}
 
-	// Accumulation phase: partition by output Gram row over the shared
-	// nonzero-fiber list.
-	parallel.For(rows, workers, func(r0, r1 int) {
-		fiber := make([]float64, rows)
-		for _, base := range bases {
-			for i := 0; i < rows; i++ {
-				fiber[i] = d.Data[base+i*inner]
+	// Accumulation phase: strip the nonzero-fiber list, one private
+	// partial per strip, fixed-tree merge.
+	strips := parallel.UniformStripBounds(len(bases), denseGramStripGrain, gramMaxStripsEff())
+	if len(strips) <= 2 {
+		p := denseGramPartialGet(rows)
+		denseGramAccumulate(g.Data, d.Data, bases, p.fiber, inner, rows, 0, len(bases))
+		denseGramPartialPut(p)
+		return g
+	}
+	out := parallel.ReduceStrips(strips, workers,
+		func(int) *denseGramPartial { return denseGramPartialGet(rows) },
+		func(p *denseGramPartial, _, s0, s1 int) {
+			denseGramAccumulate(p.gram, d.Data, bases, p.fiber, inner, rows, s0, s1)
+		},
+		func(into, from *denseGramPartial) *denseGramPartial {
+			for i, v := range from.gram {
+				into.gram[i] += v
 			}
-			for a := r0; a < r1; a++ {
-				if fiber[a] == 0 {
-					continue
-				}
-				ga := g.Row(a)
-				va := fiber[a]
-				for b := 0; b < rows; b++ {
-					ga[b] += va * fiber[b]
-				}
+			return into
+		},
+		denseGramPartialPut,
+	)
+	copy(g.Data, out.gram)
+	denseGramPartialPut(out)
+	return g
+}
+
+// denseGramStripGrain is the minimum nonzero fibers per reduction strip
+// of ModeGramDenseWorkers. A package constant (not AutoGrain): the strip
+// grid feeds a floating-point merge tree and must be a pure function of
+// the input.
+const denseGramStripGrain = 256
+
+// denseGramAccumulate folds fibers bases[s0:s1] into the rows×rows Gram
+// accumulator gm, loading each fiber once into the scratch slice: bases
+// ascending, rows ascending — the serial floating-point order within a
+// strip. Zero fiber elements are skipped exactly as the serial kernel
+// skips them, preserving signed-zero behaviour.
+func denseGramAccumulate(gm, data []float64, bases []int, fiber []float64, inner, rows, s0, s1 int) {
+	for _, base := range bases[s0:s1] {
+		for i := 0; i < rows; i++ {
+			fiber[i] = data[base+i*inner]
+		}
+		for a := 0; a < rows; a++ {
+			va := fiber[a]
+			if va == 0 {
+				continue
+			}
+			row := gm[a*rows:][:rows]
+			for b := 0; b < rows; b++ {
+				row[b] += va * fiber[b]
 			}
 		}
-	})
-	return g
+	}
 }
 
 // LeadingModeVectors returns the r leading left singular vectors of the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 )
@@ -40,15 +41,74 @@ type ModePlan struct {
 	// share one matricization column (equivalently: one configuration of
 	// all non-n modes). len(Bounds) == NumGroups()+1.
 	Bounds []int
+	// Strips is the Gram reduction grid over GROUP index space: strip s
+	// covers groups [Strips[s], Strips[s+1]), cut so strips carry
+	// near-equal entry counts while staying contiguous in the plan's
+	// sorted storage (cache-aware). The grid is a pure function of the
+	// plan contents and package constants — never of the worker count —
+	// which is what lets ModeGramWorkers give each strip a private
+	// accumulator and still produce bit-identical results for any worker
+	// count (see parallel.ReduceStrips). A single strip means consumers
+	// take their undivided serial path.
+	Strips []int
 }
 
 // NumGroups returns the number of distinct matricization columns.
 func (p *ModePlan) NumGroups() int { return len(p.Bounds) - 1 }
 
-// planEntry is one lazily-built per-mode plan slot.
+// NumStrips returns the number of Gram reduction strips.
+func (p *ModePlan) NumStrips() int { return len(p.Strips) - 1 }
+
+// gramStripGrain is the minimum plan entries per Gram reduction strip:
+// below it the per-strip partial-matrix zero/merge overhead outweighs the
+// accumulation work. Tensors with fewer than 2×gramStripGrain entries
+// compile a single strip and keep the undivided serial accumulation
+// order. A package constant — NOT AutoGrain — because the strip grid
+// feeds a floating-point merge tree and must be a pure function of the
+// input.
+const gramStripGrain = 2048
+
+// gramMaxStrips bounds the reduction grid (and so the pooled partial
+// matrices alive at once). 32 strips keep merge depth at 5 while leaving
+// enough strips to balance across any realistic worker count.
+const gramMaxStrips = 32
+
+// gramStripsOverride, when positive, replaces gramMaxStrips; see
+// SetGramMaxStrips.
+var gramStripsOverride atomic.Int64
+
+// SetGramMaxStrips overrides the maximum Gram reduction strips per
+// compiled plan (n <= 0 restores the package default) and returns the
+// previous override (0 if none). It exists for benchmarks and
+// experiments — the strips-vs-workers sweep in BenchmarkParallelHOSVD
+// uses it to expose the scheduler's scaling surface. Different strip
+// grids associate the floating-point accumulation differently, so
+// results are comparable only at tolerance level across settings (they
+// remain bit-deterministic for any fixed setting and worker count).
+// Sparse plans cache their grid: call InvalidatePlans on tensors built
+// before the override changed.
+func SetGramMaxStrips(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(gramStripsOverride.Swap(int64(n)))
+}
+
+func gramMaxStripsEff() int {
+	if n := gramStripsOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return gramMaxStrips
+}
+
+// planEntry is one lazily-built per-mode plan slot. done is set (with
+// release semantics) only after once has stored the finished plan, so
+// HasPlanMode can answer "is a plan ready right now" without taking the
+// build path or racing a concurrent builder.
 type planEntry struct {
 	once sync.Once
 	plan *ModePlan
+	done atomic.Bool
 }
 
 // planCache holds the per-mode plan slots for one tensor generation.
@@ -86,6 +146,7 @@ func (s *Sparse) PlanMode(n, workers int) *ModePlan {
 	built := false
 	e.once.Do(func() {
 		e.plan = compileModePlan(s, n, workers)
+		e.done.Store(true)
 		built = true
 	})
 	// Cache accounting: exactly one caller per (generation, mode) observes
@@ -100,6 +161,26 @@ func (s *Sparse) PlanMode(n, workers int) *ModePlan {
 		planHitsTotal.Inc()
 	}
 	return e.plan
+}
+
+// HasPlanMode reports whether a finished plan for mode n is cached for
+// the tensor's current generation. Kernels that can run either planned
+// or unplanned (bit-identically) use it to avoid compiling a plan that
+// will never amortize: a cached plan is free to use, but building one
+// for a transient tensor that dies after a single kernel call costs an
+// O(nnz log nnz) stable sort — more than the kernel itself when no real
+// parallelism is available (see ttmSparseKernel).
+func (s *Sparse) HasPlanMode(n int) bool {
+	if n < 0 || n >= s.Order() {
+		return false
+	}
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if s.plans == nil || s.plans.gen != s.gen {
+		return false
+	}
+	e := s.plans.modes[n]
+	return e != nil && e.done.Load()
 }
 
 // PlanStats returns this tensor's kernel-plan cache accounting: builds
@@ -124,7 +205,7 @@ func compileModePlan(s *Sparse, n, workers int) *ModePlan {
 	}
 	o := s.Order()
 	cols := make([]int, nnz)
-	parallel.ForGrain(nnz, workers, 1024, func(lo, hi int) {
+	parallel.ForGrain(nnz, workers, parallel.AutoGrain(4*float64(o)), func(lo, hi int) {
 		for e := lo; e < hi; e++ {
 			cols[e] = s.Shape.MatricizeColumn(n, s.Idx[e*o:(e+1)*o])
 		}
@@ -152,5 +233,12 @@ func compileModePlan(s *Sparse, n, workers int) *ModePlan {
 		start = end
 	}
 	p.Bounds = append(bounds, nnz)
+
+	// Reduction grid: contiguous group runs balanced by entry count.
+	weights := make([]int, p.NumGroups())
+	for gi := range weights {
+		weights[gi] = p.Bounds[gi+1] - p.Bounds[gi]
+	}
+	p.Strips = parallel.BalancedStripBounds(weights, gramStripGrain, gramMaxStripsEff())
 	return p
 }

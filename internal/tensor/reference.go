@@ -211,6 +211,82 @@ func ttmSparseWorkersRef(x *Sparse, n int, m *mat.Matrix, workers int) *Dense {
 	return out
 }
 
+// modeGramStripRef is the executable specification of the strip-reduced
+// ModeGramWorkers: one serial pass per strip into a fresh dense partial,
+// then an explicit pairwise tree merge ascending by strip index (span
+// doubling each level). No pooling, no goroutines — the parity suite
+// asserts the optimised kernel matches this bit for bit at every worker
+// count, which is exactly the claim that workers only decide WHEN a
+// partial is produced, never where it lands in the tree.
+func modeGramStripRef(s *Sparse, n int) *mat.Matrix {
+	rows := s.Shape[n]
+	g := mat.New(rows, rows)
+	if s.NNZ() == 0 {
+		return g
+	}
+	p := s.PlanMode(n, 1)
+	partials := make([][]float64, p.NumStrips())
+	for st := range partials {
+		partials[st] = make([]float64, rows*rows)
+		gramAccumulate(partials[st], rows, p.Bounds, p.Rows, p.Vals, p.Strips[st], p.Strips[st+1])
+	}
+	copy(g.Data, treeMergeRef(partials))
+	return g
+}
+
+// modeGramDenseStripRef is the executable specification of the
+// strip-reduced ModeGramDenseWorkers, built on the same fiber base list
+// and strip grid, with fresh partials and an explicit tree merge.
+func modeGramDenseStripRef(d *Dense, n int) *mat.Matrix {
+	rows := d.Shape[n]
+	g := mat.New(rows, rows)
+	total := d.Shape.NumElements()
+	if total == 0 || rows == 0 {
+		return g
+	}
+	inner := 1
+	for k := n + 1; k < d.Shape.Order(); k++ {
+		inner *= d.Shape[k]
+	}
+	var bases []int
+	for f := 0; f < total/rows; f++ {
+		base := (f/inner)*inner*rows + f%inner
+		for i := 0; i < rows; i++ {
+			if d.Data[base+i*inner] != 0 {
+				bases = append(bases, base)
+				break
+			}
+		}
+	}
+	if len(bases) == 0 {
+		return g
+	}
+	strips := parallel.UniformStripBounds(len(bases), denseGramStripGrain, gramMaxStripsEff())
+	partials := make([][]float64, len(strips)-1)
+	fiber := make([]float64, rows)
+	for st := range partials {
+		partials[st] = make([]float64, rows*rows)
+		denseGramAccumulate(partials[st], d.Data, bases, fiber, inner, rows, strips[st], strips[st+1])
+	}
+	copy(g.Data, treeMergeRef(partials))
+	return g
+}
+
+// treeMergeRef folds per-strip partials through the fixed pairwise tree:
+// level k merges partials[i] ← partials[i+2ᵏ] for i ≡ 0 (mod 2ᵏ⁺¹). The
+// shape depends only on the strip count.
+func treeMergeRef(partials [][]float64) []float64 {
+	s := len(partials)
+	for span := 1; span < s; span *= 2 {
+		for i := 0; i+span < s; i += 2 * span {
+			for j, v := range partials[i+span] {
+				partials[i][j] += v
+			}
+		}
+	}
+	return partials[0]
+}
+
 // foldRef is the previous Fold: each column is decoded with a div/mod
 // chain and each element placed through a full LinearIndex call.
 func foldRef(m *mat.Matrix, n int, shape Shape) *Dense {

@@ -1,0 +1,188 @@
+package tensor
+
+// Parity and regression tests for the strip-reduced Gram kernels: the
+// optimised kernels must match the executable strip specification
+// (reference.go) bit for bit at every worker count and fan-out cap, the
+// strip grid must be a pure function of the input, and steady-state
+// allocations must not grow with the worker count (the BENCH_2.json
+// regression this PR fixes).
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// stripTestWorkers mirrors the bit-stability sweep the CI faults job runs
+// under -race.
+var stripTestWorkers = []int{1, 2, 3, 8}
+
+// largeStripSparse crosses gramStripGrain so plans compile multiple
+// reduction strips.
+func largeStripSparse(t *testing.T) *Sparse {
+	t.Helper()
+	s := seededSparse(Shape{14, 12, 10, 8}, 9000, 21)
+	if p := s.PlanMode(0, 1); p.NumStrips() < 2 {
+		t.Fatalf("test tensor compiles %d strips; need >= 2 to exercise the tree", p.NumStrips())
+	}
+	return s
+}
+
+func TestTreeReductionGramMatchesStripSpec(t *testing.T) {
+	s := largeStripSparse(t)
+	for n := 0; n < s.Order(); n++ {
+		want := modeGramStripRef(s, n)
+		for _, w := range stripTestWorkers {
+			if !matEqualBits(want, ModeGramWorkers(s, n, w)) {
+				t.Fatalf("ModeGram mode %d workers=%d differs from strip spec", n, w)
+			}
+		}
+	}
+}
+
+func TestTreeReductionGramDenseMatchesStripSpec(t *testing.T) {
+	// Mode 0 has 1536 fibers (multi-strip); later modes stay single-strip
+	// and verify the serial fallback against the same spec.
+	d := seededSparse(Shape{8, 48, 32}, 5000, 22).ToDense()
+	for n := 0; n < 3; n++ {
+		want := modeGramDenseStripRef(d, n)
+		for _, w := range stripTestWorkers {
+			if !matEqualBits(want, ModeGramDenseWorkers(d, n, w)) {
+				t.Fatalf("ModeGramDense mode %d workers=%d differs from strip spec", n, w)
+			}
+		}
+	}
+}
+
+func TestTreeReductionBitStableUnderHighFanout(t *testing.T) {
+	// Raise the fan-out cap above GOMAXPROCS so real goroutines interleave
+	// even on small CI machines — under -race this is the order-dependence
+	// probe the fixed sweep misses.
+	prev := parallel.SetFanoutCap(8)
+	defer parallel.SetFanoutCap(prev)
+	s := largeStripSparse(t)
+	d := seededSparse(Shape{8, 48, 32}, 5000, 23).ToDense()
+	wantG := ModeGramWorkers(s, 0, 1)
+	wantD := ModeGramDenseWorkers(d, 0, 1)
+	for _, w := range stripTestWorkers[1:] {
+		t.Run("w="+strconv.Itoa(w), func(t *testing.T) {
+			if !matEqualBits(wantG, ModeGramWorkers(s, 0, w)) {
+				t.Fatalf("ModeGram workers=%d differs under fanout cap 8", w)
+			}
+			if !matEqualBits(wantD, ModeGramDenseWorkers(d, 0, w)) {
+				t.Fatalf("ModeGramDense workers=%d differs under fanout cap 8", w)
+			}
+		})
+	}
+}
+
+func TestTreeReductionGramToleranceVsSerialReference(t *testing.T) {
+	// Multi-strip results reassociate the accumulation, so they may differ
+	// from the undivided serial order — but only at rounding level.
+	s := largeStripSparse(t)
+	for n := 0; n < s.Order(); n++ {
+		got := ModeGramWorkers(s, n, 8)
+		ref := modeGramWorkersRef(s, n, 1)
+		for i, v := range got.Data {
+			r := ref.Data[i]
+			scale := math.Abs(r)
+			if scale < 1 {
+				scale = 1
+			}
+			if math.Abs(v-r)/scale > 1e-12 {
+				t.Fatalf("mode %d cell %d: strip-reduced %v vs serial %v", n, i, v, r)
+			}
+		}
+	}
+}
+
+func TestGramStripGridIsPureFunctionOfInput(t *testing.T) {
+	a := seededSparse(Shape{12, 10, 8}, 7000, 24)
+	b := seededSparse(Shape{12, 10, 8}, 7000, 24)
+	for n := 0; n < 3; n++ {
+		// Different workers arguments at compile time must yield the same grid.
+		pa, pb := a.PlanMode(n, 1), b.PlanMode(n, 8)
+		if len(pa.Strips) != len(pb.Strips) {
+			t.Fatalf("mode %d: %d vs %d strips", n, pa.NumStrips(), pb.NumStrips())
+		}
+		for i, v := range pa.Strips {
+			if pb.Strips[i] != v {
+				t.Fatalf("mode %d: strip grids differ at %d: %v vs %v", n, i, pa.Strips, pb.Strips)
+			}
+		}
+		// Grid boundaries must cover the group space in ascending order.
+		if pa.Strips[0] != 0 || pa.Strips[pa.NumStrips()] != pa.NumGroups() {
+			t.Fatalf("mode %d: strips %v do not cover %d groups", n, pa.Strips, pa.NumGroups())
+		}
+		for i := 1; i < len(pa.Strips); i++ {
+			if pa.Strips[i] <= pa.Strips[i-1] {
+				t.Fatalf("mode %d: strips %v contain an empty strip", n, pa.Strips)
+			}
+		}
+	}
+	// Small tensors must compile a single strip (undivided serial path).
+	small := seededSparse(Shape{7, 5, 4}, 60, 25)
+	if got := small.PlanMode(0, 1).NumStrips(); got != 1 {
+		t.Fatalf("small tensor compiled %d strips, want 1", got)
+	}
+}
+
+func TestSetGramMaxStripsOverride(t *testing.T) {
+	prev := SetGramMaxStrips(2)
+	defer SetGramMaxStrips(prev)
+	s := seededSparse(Shape{14, 12, 10, 8}, 9000, 26)
+	p := s.PlanMode(0, 1)
+	if p.NumStrips() != 2 {
+		t.Fatalf("override=2: plan compiled %d strips, want 2", p.NumStrips())
+	}
+	// Results stay bit-stable across worker counts under any fixed override.
+	want := ModeGramWorkers(s, 0, 1)
+	for _, w := range stripTestWorkers[1:] {
+		if !matEqualBits(want, ModeGramWorkers(s, 0, w)) {
+			t.Fatalf("override=2: workers=%d differs", w)
+		}
+	}
+	// Restoring the default and invalidating recompiles a bigger grid
+	// (9000 entries / gramStripGrain = 4 strips).
+	SetGramMaxStrips(prev)
+	s.InvalidatePlans()
+	if got := s.PlanMode(0, 1).NumStrips(); got != 9000/gramStripGrain {
+		t.Fatalf("default grid: %d strips for nnz=9000, want %d", got, 9000/gramStripGrain)
+	}
+}
+
+func TestModeGramDenseAllocsFlatAcrossWorkers(t *testing.T) {
+	// BENCH_2.json: allocs/op grew 7 → 46 from workers 1 → 8 because every
+	// worker allocated its own fiber buffer. Scratch is pooled now. The
+	// fan-out cap is pinned to 1 so the measurement isolates ALGORITHMIC
+	// allocations from goroutine-spawn bookkeeping (which varies by
+	// machine): any remaining worker-count dependence would be exactly the
+	// per-worker scratch this test guards against.
+	prev := parallel.SetFanoutCap(1)
+	defer parallel.SetFanoutCap(prev)
+	d := seededSparse(Shape{12, 12, 12, 12}, 12000, 27).ToDense()
+	measure := func(w int) float64 {
+		return testing.AllocsPerRun(20, func() { ModeGramDenseWorkers(d, 0, w) })
+	}
+	a1, a8 := measure(1), measure(8)
+	if a8 > a1+2 {
+		t.Fatalf("allocs/op grew from %.0f (w=1) to %.0f (w=8); pooled scratch must not scale with workers", a1, a8)
+	}
+	if a1 > 16 {
+		t.Fatalf("workers=1 allocates %.0f per op; expected pooled steady state <= 16", a1)
+	}
+}
+
+func TestGramPartialPoolReuse(t *testing.T) {
+	// Steady-state sparse Gram calls must not allocate new partials: after
+	// a warm-up call, allocations are bounded by the output matrix + plan
+	// bookkeeping, independent of the strip count.
+	s := largeStripSparse(t)
+	ModeGramWorkers(s, 0, 2) // warm plan + pool
+	got := testing.AllocsPerRun(20, func() { ModeGramWorkers(s, 0, 2) })
+	if got > 16 {
+		t.Fatalf("steady-state ModeGram allocates %.0f per op, want <= 16", got)
+	}
+}

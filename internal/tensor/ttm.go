@@ -9,12 +9,10 @@ import (
 
 // ttmGrain is the minimum number of linear indices' worth of work per
 // worker when fanning a dense TTM out over fiber bases; below it the
-// goroutine overhead beats the arithmetic.
+// goroutine overhead beats the arithmetic. The live kernels size their
+// grains with parallel.AutoGrain now; this constant remains only for the
+// retained reference implementation.
 const ttmGrain = 2048
-
-// ttmFiberGrain is the minimum number of fibers per worker for the
-// stride-walk dense kernels (each fiber carries I_n·J multiply-adds).
-const ttmFiberGrain = 128
 
 // TTM computes the mode-n tensor–matrix product Y = X ×ₙ M for a dense
 // tensor, where M is J × I_n and the result has mode-n size J:
@@ -62,12 +60,10 @@ func ttmDenseKernel(x *Dense, n int, m *mat.Matrix, out *Dense, workers int) {
 	}
 	numFibers := total / inSize
 
-	grain := ttmFiberGrain
-	if w := inSize * outSize; w > 0 {
-		if grain = ttmGrain / w; grain < 1 {
-			grain = 1
-		}
-	}
+	// Per-fiber cost is one inSize×outSize panel; the calibrated grain
+	// keeps the fan-out amortised on whatever hardware runs this
+	// (scheduling only — fibers write disjoint outputs).
+	grain := parallel.AutoGrain(float64(inSize) * float64(outSize))
 	if parallel.Resolve(workers) <= 1 || numFibers < 2*grain {
 		ttmDenseRange(x, m, out, inner, inSize, outSize, 0, numFibers)
 		return
@@ -139,11 +135,23 @@ func TTMSparseWorkers(x *Sparse, n int, m *mat.Matrix, workers int) *Dense {
 // ttmSparseKernel computes the mode-n sparse TTM into a preallocated,
 // ZEROED output tensor with the given strides. The serial path runs
 // inline without spawning closures.
+//
+// Path choice: the planned path is taken when a plan is already cached
+// (then it is free and its group-sum loop is cache-friendlier than the
+// entry scatter even serially) or when real parallelism is available
+// (parallel.Fanout > 1). Otherwise — no cached plan, no parallelism —
+// compiling a plan is a pure loss: transient tensors like the stitched
+// join in CoreFromFactors die after this one call, so the O(nnz log nnz)
+// compile sort can never amortize, and on a fanout-capped box it used to
+// make a workers=8 request several times SLOWER than workers=1. Both
+// paths accumulate every output cell in storage-entry order, so the
+// choice never changes a single output bit.
 func ttmSparseKernel(x *Sparse, n int, m *mat.Matrix, out *Dense, outStrides []int, workers int) {
 	stride := outStrides[n]
 	nnz := x.NNZ()
 	o := x.Order()
-	if parallel.Resolve(workers) <= 1 || nnz < ttmSparseMinNNZ || m.Rows == 1 {
+	planned := x.HasPlanMode(n) || parallel.Fanout(workers) > 1
+	if !planned || nnz < ttmSparseMinNNZ || m.Rows == 1 {
 		for e := 0; e < nnz; e++ {
 			idx := x.Idx[e*o : (e+1)*o]
 			base := 0
@@ -164,7 +172,9 @@ func ttmSparseKernel(x *Sparse, n int, m *mat.Matrix, out *Dense, outStrides []i
 
 	p := x.PlanMode(n, workers)
 	bounds, rows, vals, ents := p.Bounds, p.Rows, p.Vals, p.Ents
-	parallel.ForGrain(p.NumGroups(), workers, 16, func(g0, g1 int) {
+	// Average per-group cost: (nnz/groups) entries × m.Rows accumulations.
+	groupCost := float64(nnz) / float64(p.NumGroups()) * float64(m.Rows)
+	parallel.ForGrain(p.NumGroups(), workers, parallel.AutoGrain(groupCost), func(g0, g1 int) {
 		for gi := g0; gi < g1; gi++ {
 			start, end := bounds[gi], bounds[gi+1]
 			// All entries of a group share the non-n coordinates; recover

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // naiveTTM is a reference implementation via matricization:
@@ -192,5 +193,61 @@ func TestTTMComposesQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(47))}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTTMSparseOneShotSkipsPlanCompile pins the ttmSparseKernel path
+// choice: with no cached plan and no available parallelism (fanout cap
+// 1), a sparse TTM on a transient tensor must NOT compile a mode plan —
+// the O(nnz log nnz) compile sort can never amortize over a single call.
+// A cached plan, by contrast, is free and must be used.
+func TestTTMSparseOneShotSkipsPlanCompile(t *testing.T) {
+	prev := parallel.SetFanoutCap(1)
+	defer parallel.SetFanoutCap(prev)
+
+	// Large enough to cross ttmSparseMinNNZ so only the new fanout /
+	// cached-plan gates decide the path.
+	s := seededSparse(Shape{12, 11, 10, 9}, 2*ttmSparseMinNNZ, 31)
+	m := mat.Random(rand.New(rand.NewSource(31)), 4, s.Shape[0])
+
+	serial := TTMSparseWorkers(s, 0, m, 8)
+	if builds, _ := s.PlanStats(); builds != 0 {
+		t.Fatalf("one-shot TTM at fanout cap 1 compiled %d plans, want 0", builds)
+	}
+
+	// Once a plan exists the kernel must pick it up (hits grow) and the
+	// result must stay bit-identical to the serial entry loop.
+	s.PlanMode(0, 1)
+	builds0, hits0 := s.PlanStats()
+	planned := TTMSparseWorkers(s, 0, m, 8)
+	builds1, hits1 := s.PlanStats()
+	if builds1 != builds0 || hits1 != hits0+1 {
+		t.Fatalf("cached-plan TTM: builds %d->%d hits %d->%d, want one hit and no build",
+			builds0, builds1, hits0, hits1)
+	}
+	bitsEqualDense(t, "TTMSparse serial vs planned", serial, planned)
+}
+
+// TestHasPlanMode pins the accessor: false before any build, true after,
+// false again once the tensor mutates, and false (not a panic) for
+// out-of-range modes.
+func TestHasPlanMode(t *testing.T) {
+	s := seededSparse(Shape{6, 5, 4}, 200, 7)
+	if s.HasPlanMode(1) {
+		t.Fatal("HasPlanMode true before any PlanMode call")
+	}
+	s.PlanMode(1, 1)
+	if !s.HasPlanMode(1) {
+		t.Fatal("HasPlanMode false after PlanMode built mode 1")
+	}
+	if s.HasPlanMode(0) {
+		t.Fatal("HasPlanMode true for a mode that was never built")
+	}
+	s.InvalidatePlans()
+	if s.HasPlanMode(1) {
+		t.Fatal("HasPlanMode survived InvalidatePlans")
+	}
+	if s.HasPlanMode(-1) || s.HasPlanMode(99) {
+		t.Fatal("HasPlanMode true for out-of-range mode")
 	}
 }

@@ -82,13 +82,18 @@ func HOSVDSpan(x *tensor.Sparse, ranks []int, workers int, span *obs.Span) Decom
 	order := x.Order()
 	factors := make([]*mat.Matrix, order)
 	tasks := make([]func(), order)
+	// Split the worker budget between the concurrent per-mode tasks and
+	// the kernels inside them, so a workers=W request occupies ~W
+	// goroutines rather than W per mode. Purely scheduling: the Gram
+	// strip grids are worker-independent, so the split never changes bits.
+	inner := parallel.SplitWorkers(workers, order)
 	for n := 0; n < order; n++ {
 		n := n
 		ms := span.Start(fmt.Sprintf("mode%d", n))
 		ms.Set("rank", int64(ranks[n]))
 		tasks[n] = func() {
 			defer ms.Finish()
-			factors[n] = tensor.LeadingModeVectorsWorkers(x, n, ranks[n], workers)
+			factors[n] = tensor.LeadingModeVectorsWorkers(x, n, ranks[n], inner)
 		}
 	}
 	parallel.Do(workers, tasks...)
@@ -111,10 +116,11 @@ func HOSVDDenseWorkers(x *tensor.Dense, ranks []int, workers int) Decomposition 
 	order := x.Shape.Order()
 	factors := make([]*mat.Matrix, order)
 	tasks := make([]func(), order)
+	inner := parallel.SplitWorkers(workers, order)
 	for n := 0; n < order; n++ {
 		n := n
 		tasks[n] = func() {
-			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(x, n, workers), ranks[n])
+			factors[n] = mat.LeadingEigenvectors(tensor.ModeGramDenseWorkers(x, n, inner), ranks[n])
 		}
 	}
 	parallel.Do(workers, tasks...)
