@@ -45,20 +45,24 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. ./...
 
-# Machine-readable kernel benchmark summary (BENCH_6.json): TTM, ModeGram,
-# workspace chains, HOSVD/HOOI, and stitching, with ns/op and allocs/op.
-# The checked-in copy is the baseline the CI bench-regression job diffs
-# fresh runs against (see bench-diff); regenerate it deliberately, with a
-# real benchtime, when a PR intentionally moves kernel performance.
+# Machine-readable kernel benchmark summary (BENCH_7.json): TTM, ModeGram,
+# workspace chains, HOSVD/HOOI (plain and sketched), and stitching, with
+# ns/op and allocs/op. The checked-in copy is the baseline the CI
+# bench-regression job diffs fresh runs against (see bench-diff);
+# regenerate it deliberately, with a real benchtime, when a PR
+# intentionally moves kernel performance.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_6.json -benchtime 2s
+	$(GO) run ./cmd/benchjson -out BENCH_7.json -benchtime 2s
 
 # Benchmark-gate flags shared by `make bench-diff` and the CI
 # bench-regression job. ns/op tolerance is loose (cross-machine);
 # allocs tolerance absorbs goroutine-spawn bookkeeping that varies with
 # core count (the exact allocs assertion is the pinned-fanout -race unit
 # test); the -shape gates are the sharp check — worker-scaling curves in
-# the fresh run must be monotone non-increasing within 10%. The dense
+# the fresh run must be monotone non-increasing within 10%; the -speedup
+# gate asserts the sketch fast path's claim (keep=0.1 at least 3x faster
+# than plain HOSVD) within the fresh run, where both sides share one
+# machine and the tight ratio is meaningful. The dense
 # Gram family gets a wider ns tolerance (prefix override): on a
 # single-core box its strip partials are pure overhead, so its absolute
 # ns swings with the machine — its regression protection is the exact
@@ -67,14 +71,15 @@ BENCH_GATE = -tol 0.35 -allocs-tol 48 -shape-slack 0.10 \
 	-tol-bench BenchmarkModeGramDense=1.0 \
 	-shape BenchmarkParallelHOSVD \
 	-shape BenchmarkParallelTTM \
-	-shape BenchmarkModeGramDenseWorkers
+	-shape BenchmarkModeGramDenseWorkers \
+	-speedup BenchmarkSketchedHOSVD/keep=0.1:BenchmarkHOSVD:3
 
 # Re-measure the kernel benchmarks and diff against the checked-in
 # baseline — exactly what the CI bench-regression job runs. Exit 1 means
 # a regression or a scaling inversion; exit 2 means a malformed snapshot.
 bench-diff:
 	$(GO) run ./cmd/benchjson -out BENCH_new.json -benchtime 2s
-	$(GO) run ./cmd/benchjson -diff $(BENCH_GATE) BENCH_6.json BENCH_new.json
+	$(GO) run ./cmd/benchjson -diff $(BENCH_GATE) BENCH_7.json BENCH_new.json
 
 # One iteration of every benchmark — keeps benchmark code compiling and
 # running without measuring anything.

@@ -21,9 +21,12 @@
 // overrides via -tol-bench), allocs/op growth beyond -allocs-tol, or a
 // baseline benchmark missing from NEW (unless -allow-missing). -shape
 // additionally asserts a worker-scaling curve in NEW is monotone
-// non-increasing up to -shape-slack. Exit codes: 0 pass, 1 regression or
-// shape violation, 2 unreadable or malformed input. This is the CI
-// bench-regression gate.
+// non-increasing up to -shape-slack, and -speedup FAST:SLOW:MIN asserts
+// SLOW is at least MIN times slower than FAST within NEW (the sketch
+// fast-path gate — both sides of the ratio come from the same machine,
+// so it holds at a tight threshold where cross-machine timings cannot).
+// Exit codes: 0 pass, 1 regression or shape/speedup violation, 2
+// unreadable or malformed input. This is the CI bench-regression gate.
 package main
 
 import (
@@ -42,8 +45,9 @@ import (
 )
 
 // defaultBench selects the kernel benchmarks worth tracking: TTM and
-// ModeGram variants, HOSVD/HOOI, workspace chains, and stitching.
-const defaultBench = "BenchmarkTTM|BenchmarkModeGram|BenchmarkWorkspace|BenchmarkHOSVD|BenchmarkHOOI|BenchmarkParallelHOSVD|BenchmarkParallelTTM|BenchmarkStitching"
+// ModeGram variants, HOSVD/HOOI (plain and sketched), workspace chains,
+// and stitching.
+const defaultBench = "BenchmarkTTM|BenchmarkModeGram|BenchmarkWorkspace|BenchmarkHOSVD|BenchmarkHOOI|BenchmarkParallelHOSVD|BenchmarkParallelTTM|BenchmarkStitching|BenchmarkSketched"
 
 // stringList is a repeatable string flag.
 type stringList []string
@@ -62,6 +66,7 @@ type diffConfig struct {
 	allowMissing bool
 	shapes       []string
 	shapeSlack   float64
+	speedups     []string
 }
 
 func main() {
@@ -77,9 +82,10 @@ func main() {
 		allowMissing = flag.Bool("allow-missing", false, "baseline benchmarks missing from NEW are notes, not failures (diff mode)")
 		shapeSlack   = flag.Float64("shape-slack", 0.05, "relative slack for -shape monotonicity (diff mode)")
 	)
-	var tolBench, shapes stringList
+	var tolBench, shapes, speedups stringList
 	flag.Var(&tolBench, "tol-bench", "per-benchmark tolerance override NAME=FRAC; prefix keys cover sub-benchmarks (repeatable, diff mode)")
 	flag.Var(&shapes, "shape", "assert NEW's GROUP/workers=N curve is monotone non-increasing (repeatable, diff mode)")
+	flag.Var(&speedups, "speedup", "assert SLOW >= MIN x FAST within NEW, as FAST:SLOW:MIN (repeatable, diff mode)")
 	flag.Parse()
 
 	if *diffMode {
@@ -90,6 +96,7 @@ func main() {
 			allowMissing: *allowMissing,
 			shapes:       shapes,
 			shapeSlack:   *shapeSlack,
+			speedups:     speedups,
 		}
 		for _, kv := range tolBench {
 			name, frac, ok := strings.Cut(kv, "=")
@@ -158,6 +165,12 @@ func runDiff(cfg diffConfig, oldPath, newPath string, stdout, stderr io.Writer) 
 	for _, group := range cfg.shapes {
 		for _, problem := range benchjson.CheckMonotone(current, group, cfg.shapeSlack) {
 			fmt.Fprintf(stdout, "! shape          %s\n", problem)
+			failed = true
+		}
+	}
+	for _, spec := range cfg.speedups {
+		for _, problem := range benchjson.CheckSpeedup(current, spec) {
+			fmt.Fprintf(stdout, "! speedup        %s\n", problem)
 			failed = true
 		}
 	}

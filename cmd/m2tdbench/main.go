@@ -9,7 +9,9 @@
 //	m2tdbench -table 3 -workers 1,2,4,8,16
 //	m2tdbench -table 5 -res 16
 //	m2tdbench -table 2 -parallel 8        # 8-worker shared-memory pool
+//	m2tdbench -table sketch               # sketch accuracy-vs-speedup sweep
 //	m2tdbench -run -res 12 -timeout 2m    # one pipeline with a deadline
+//	m2tdbench -run -sketch 0.1 -sketch-seed 3   # sketched pipeline
 //	m2tdbench -run -checkpoint ./ckpt -resume
 //	m2tdbench -run -fault-rate 0.1 -divergent-rate 0.02
 //
@@ -50,7 +52,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "table to regenerate: 1..8, fig6, noise, ranks, extended, pivotselect, or 'all'")
+		table   = flag.String("table", "all", "table to regenerate: 1..8, fig6, noise, ranks, extended, pivotselect, sketch, or 'all'")
 		res     = flag.String("res", "", "comma-separated resolutions (table 2) or single base resolution")
 		timeS   = flag.Int("time", 0, "time-mode size (defaults to the resolution)")
 		rank    = flag.String("rank", "", "comma-separated ranks (table 2) or single base rank")
@@ -60,6 +62,9 @@ func main() {
 		csvOut  = flag.String("csv", "", "also export comparison rows as CSV to this file (tables 2 and 4)")
 		estim   = flag.Int("estimate", 0, "paper-scale mode: factored core + this many sampled accuracy fibers (required beyond res ≈24)")
 		par     = flag.Int("parallel", 0, "shared-memory worker-pool size for the decomposition kernels (0 = all CPUs, 1 = serial; results are identical for any value)")
+
+		sketch     = flag.String("sketch", "", "sketch KeepFrac: one fraction with -run, a comma-separated sweep for -table sketch (empty = the sweep default)")
+		sketchSeed = flag.Int64("sketch-seed", 0, "sketch sampling seed (0 = the run's -seed)")
 
 		runOne     = flag.Bool("run", false, "execute a single end-to-end pipeline (instead of a table) and print the report")
 		timeout    = flag.Duration("timeout", 0, "with -run: overall deadline; the pipeline drains cooperatively and flushes its checkpoint on expiry (0 = none)")
@@ -97,6 +102,9 @@ func main() {
 		}
 		if *faultRate > 0 || *divRate > 0 {
 			cfg.Faults = &faults.Config{Seed: *faultSeed, TransientRate: *faultRate, DivergentRate: *divRate}
+		}
+		if frac := firstFloat(*sketch); frac > 0 {
+			cfg.Sketch = m2td.SketchConfig{KeepFrac: frac, Seed: *sketchSeed}
 		}
 		if err := runPipeline(cfg, *timeout, *traceOut); err != nil {
 			stopMetrics()
@@ -139,7 +147,7 @@ func main() {
 			fmt.Println()
 		}
 		start := time.Now()
-		if err := run(os.Stdout, tb, base, *res, *rank, *workers, *csvOut); err != nil {
+		if err := run(os.Stdout, tb, base, *res, *rank, *workers, *sketch, *csvOut); err != nil {
 			fmt.Fprintf(os.Stderr, "m2tdbench: table %s: %v\n", tb, err)
 			os.Exit(1)
 		}
@@ -173,6 +181,13 @@ func runPipeline(cfg m2td.Config, timeout time.Duration, traceOut string) error 
 	fmt.Printf("simulations        %d (executed %d, restored %d, retried %d, failed %d)\n",
 		report.NumSims, report.ExecutedSims, report.RestoredSims, report.RetriedSims, report.FailedSims)
 	fmt.Printf("quarantined cells  %d\n", report.QuarantinedCells)
+	if st := report.SketchStats; st != nil {
+		fmt.Printf("sketch             keep=%.0f%% seed=%d — join %d/%d, sub1 %d/%d, sub2 %d/%d cells kept\n",
+			st.KeepFrac*100, st.Seed,
+			st.Join.Kept, st.Join.InputNNZ,
+			st.Sub1.Kept, st.Sub1.InputNNZ,
+			st.Sub2.Kept, st.Sub2.InputNNZ)
+	}
 	fmt.Printf("effective density  %.4f / %.4f\n", report.EffectiveDensity1, report.EffectiveDensity2)
 	if fs := report.FaultStats; fs != nil {
 		fmt.Printf("injected faults    transient sims %d (failures %d), divergent %d, panicked %d, delayed %d\n",
@@ -215,8 +230,22 @@ func exportCSV(path string, cmps []*eval.Comparison) error {
 	return eval.ExportComparisonsCSV(f, cmps)
 }
 
-func run(out io.Writer, table string, base eval.Config, res, rank, workers, csvOut string) error {
+func run(out io.Writer, table string, base eval.Config, res, rank, workers, sketch, csvOut string) error {
 	switch table {
+	case "sketch":
+		rows, err := eval.SketchSweep(base, floats(sketch))
+		if err != nil {
+			return err
+		}
+		eval.RenderSketchSweep(out, rows)
+		if csvOut != "" {
+			f, err := os.OpenFile(csvOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return eval.ExportSketchSweepCSV(f, rows)
+		}
 	case "1":
 		rows, err := eval.Table1(nil, ints(res))
 		if err != nil {
@@ -320,7 +349,7 @@ func run(out io.Writer, table string, base eval.Config, res, rank, workers, csvO
 		}
 		eval.RenderTable8(out, rows)
 	default:
-		return fmt.Errorf("unknown table %q (want 1..8, fig6, noise, ranks, extended, pivotselect, or all)", table)
+		return fmt.Errorf("unknown table %q (want 1..8, fig6, noise, ranks, extended, pivotselect, sketch, or all)", table)
 	}
 	return nil
 }
@@ -346,6 +375,32 @@ func ints(s string) []int {
 // firstInt returns the first integer of a comma-separated list, or 0.
 func firstInt(s string) int {
 	vs := ints(s)
+	if len(vs) == 0 {
+		return 0
+	}
+	return vs[0]
+}
+
+// floats parses a comma-separated float list; empty input yields nil.
+func floats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m2tdbench: bad float %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// firstFloat returns the first float of a comma-separated list, or 0.
+func firstFloat(s string) float64 {
+	vs := floats(s)
 	if len(vs) == 0 {
 		return 0
 	}

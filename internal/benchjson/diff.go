@@ -203,6 +203,40 @@ func CheckMonotone(results map[string]Result, group string, slack float64) []str
 	return problems
 }
 
+// CheckSpeedup verifies a fast-path benchmark actually is one: spec is
+// "FAST:SLOW:MIN" (benchmark names never contain ':'), and the check
+// requires SLOW's ns/op ≥ MIN × FAST's ns/op in the same snapshot. Both
+// sides come from one run on one machine, so unlike the cross-machine
+// timing gate this ratio is meaningful at a tight threshold — it is the
+// gate behind the sketch fast path's claimed speedup. It returns a
+// description of each violation; an empty slice means the spec holds.
+func CheckSpeedup(results map[string]Result, spec string) []string {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return []string{fmt.Sprintf("speedup spec %q: want FAST:SLOW:MIN", spec)}
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || min <= 0 {
+		return []string{fmt.Sprintf("speedup spec %q: bad MIN %q", spec, parts[2])}
+	}
+	fast, okFast := results[parts[0]]
+	slow, okSlow := results[parts[1]]
+	switch {
+	case !okFast:
+		return []string{fmt.Sprintf("speedup %s: %s missing from the run", spec, parts[0])}
+	case !okSlow:
+		return []string{fmt.Sprintf("speedup %s: %s missing from the run", spec, parts[1])}
+	case fast.NsPerOp <= 0:
+		return []string{fmt.Sprintf("speedup %s: %s has no timing", spec, parts[0])}
+	}
+	if got := slow.NsPerOp / fast.NsPerOp; got < min {
+		return []string{fmt.Sprintf(
+			"speedup shortfall — %s %.0f ns/op vs %s %.0f ns/op: %.2fx, want >= %.2fx",
+			parts[0], fast.NsPerOp, parts[1], slow.NsPerOp, got, min)}
+	}
+	return nil
+}
+
 // LoadFile reads a BENCH_*.json snapshot (benchmark name → Result, as
 // written by cmd/benchjson).
 func LoadFile(path string) (map[string]Result, error) {

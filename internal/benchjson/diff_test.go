@@ -163,3 +163,30 @@ func TestCheckMonotone(t *testing.T) {
 		t.Fatalf("missing sweep should be one violation, got %v", problems)
 	}
 }
+
+func TestCheckSpeedup(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkSketchedHOSVD/keep=0.1": res(200, -1),
+		"BenchmarkHOSVD":                  res(1000, -1),
+	}
+	spec := "BenchmarkSketchedHOSVD/keep=0.1:BenchmarkHOSVD:3"
+	if problems := CheckSpeedup(results, spec); len(problems) != 0 {
+		t.Fatalf("5x speedup failed a 3x gate: %v", problems)
+	}
+	// A shortfall is one violation naming both sides and the ratio.
+	tight := "BenchmarkSketchedHOSVD/keep=0.1:BenchmarkHOSVD:6"
+	problems := CheckSpeedup(results, tight)
+	if len(problems) != 1 || !strings.Contains(problems[0], "shortfall") {
+		t.Fatalf("5x speedup should fail a 6x gate with a shortfall, got %v", problems)
+	}
+	// A missing side must be a violation, not a silent pass.
+	if problems := CheckSpeedup(map[string]Result{"BenchmarkHOSVD": res(1000, -1)}, spec); len(problems) != 1 {
+		t.Fatalf("missing fast side should be one violation, got %v", problems)
+	}
+	if problems := CheckSpeedup(results, "malformed"); len(problems) != 1 {
+		t.Fatalf("malformed spec should be one violation, got %v", problems)
+	}
+	if problems := CheckSpeedup(results, "a:b:zero"); len(problems) != 1 {
+		t.Fatalf("bad MIN should be one violation, got %v", problems)
+	}
+}

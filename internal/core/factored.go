@@ -46,6 +46,11 @@ func DecomposeFactored(p *partition.Result, opts Options) (*Result, error) {
 	if len(opts.Ranks) != order {
 		return nil, fmt.Errorf("core: %d ranks for order-%d space", len(opts.Ranks), order)
 	}
+	if opts.Sketch.KeepFrac != 0 {
+		// Sketching drops cells, which destroys the exact one-cell-per-
+		// (pivot × free) product structure the factorisation relies on.
+		return nil, fmt.Errorf("core: sketching is incompatible with DecomposeFactored (the sketch breaks the P×E product structure)")
+	}
 	if err := checkProductStructure(p); err != nil {
 		return nil, err
 	}

@@ -66,12 +66,47 @@ type Options struct {
 	// 0 selects the parallel package default (GOMAXPROCS); 1 forces serial
 	// execution. Results are bit-identical for any worker count.
 	Workers int
+	// Sketch, when enabled, runs the decomposition on biased random
+	// sketches of the sub-tensors and join instead of the exact inputs.
+	Sketch SketchSpec
 	// Span, when non-nil, is the decompose stage span: DecomposeCtx opens
 	// one child span per phase (factors, stitch, core), with one sub-span
 	// per original mode under factors (pivot modes carry x1/x2 kernel
-	// sub-spans). Span structure and counters are deterministic for any
-	// Workers value; a nil Span costs one nil check per site.
+	// sub-spans; sketched runs add sketch_x1/sketch_x2 under factors and
+	// sketch_join under core). Span structure and counters are
+	// deterministic for any Workers value; a nil Span costs one nil check
+	// per site.
 	Span *obs.Span
+}
+
+// SketchSpec configures the randomized sketch fast path (tucker.Sketch):
+// every tensor the decomposition consumes — X₁, X₂, and the stitched join
+// — is replaced by a biased random sketch keeping roughly KeepFrac of its
+// cells, cutting the nnz every downstream kernel pays for at a graceful
+// accuracy cost. The zero value disables sketching.
+type SketchSpec struct {
+	// KeepFrac is the expected fraction of stored cells each sketch
+	// retains, in (0, 1]. 0 disables sketching; 1 keeps every cell (the
+	// decomposition is bit-identical to the unsketched run, and the
+	// Result still carries a full-keep SketchReport).
+	KeepFrac float64
+	// Seed drives the per-cell keep decisions through a counter-based
+	// hash. The three tensors sketch under distinct derived seeds
+	// (Seed+1, Seed+2, Seed+3) so equal-shaped sub-tensors never share
+	// coin flips. The whole decomposition is a pure function of
+	// (partition, Options) — bit-identical for any Workers value.
+	Seed int64
+}
+
+// SketchReport accounts for the sketch passes of one decomposition: the
+// configuration plus per-tensor tucker.SketchStats. Every field is
+// deterministic for a fixed partition and options.
+type SketchReport struct {
+	// KeepFrac and Seed echo the SketchSpec the run used.
+	KeepFrac float64
+	Seed     int64
+	// Sub1, Sub2, and Join account for the X₁, X₂, and join sketches.
+	Sub1, Sub2, Join tucker.SketchStats
 }
 
 // Result is an M2TD decomposition of the join tensor: Tucker factors in
@@ -81,8 +116,13 @@ type Result struct {
 	Factors []*mat.Matrix
 	// Core is the recovered core tensor G.
 	Core *tensor.Dense
-	// Join is the JE-stitched tensor the core was recovered from.
+	// Join is the JE-stitched tensor the core was recovered from. Sketched
+	// runs stitch the full join and recover the core from a sketch of it;
+	// Join still holds the full join.
 	Join *tensor.Sparse
+	// Sketch accounts for the sketch passes when Options.Sketch was
+	// enabled (nil otherwise).
+	Sketch *SketchReport
 
 	// Phase timings (the serial analogue of D-M2TD's three phases).
 	SubDecompTime time.Duration
@@ -119,6 +159,9 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 		return nil, fmt.Errorf("core: %d ranks for order-%d space", len(opts.Ranks), order)
 	}
 	ranks := tucker.ClipRanks(p.Space.Shape(), opts.Ranks)
+	if f := opts.Sketch.KeepFrac; f < 0 || f > 1 {
+		return nil, fmt.Errorf("core: sketch KeepFrac %v outside [0, 1]", f)
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -126,17 +169,34 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 
 	// Phase 1: decompose the two low-order sub-tensors. Only the factor
 	// matrices are needed; Gram matrices are retained for CONCAT fusion.
+	// When sketching is enabled the phase first replaces both sub-tensors
+	// with their sketches (in a shallow copy — the caller's partition is
+	// never mutated), so every kernel below runs on the reduced nnz.
 	// The phase span records each sub-tensor's kernel-plan cache deltas:
 	// builds and hits depend only on the kernel invocation sequence (never
 	// on Workers), so they are deterministic counters.
 	subClock := stopwatch()
 	fspan := opts.Span.Start("factors")
-	fb1, fh1 := p.Sub1.Tensor.PlanStats()
-	fb2, fh2 := p.Sub2.Tensor.PlanStats()
+	var skReport *SketchReport
+	dp := p
+	if f := opts.Sketch.KeepFrac; f > 0 {
+		skReport = &SketchReport{KeepFrac: f, Seed: opts.Sketch.Seed}
+		if f == 1 {
+			skReport.Sub1 = tucker.SketchStats{InputNNZ: p.Sub1.Tensor.NNZ(), Kept: p.Sub1.Tensor.NNZ()}
+			skReport.Sub2 = tucker.SketchStats{InputNNZ: p.Sub2.Tensor.NNZ(), Kept: p.Sub2.Tensor.NNZ()}
+		} else {
+			var err error
+			if dp, err = sketchSubs(p, opts, skReport, fspan); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fb1, fh1 := dp.Sub1.Tensor.PlanStats()
+	fb2, fh2 := dp.Sub2.Tensor.PlanStats()
 	fdone := fspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
-	factors := buildFactors(p, opts.Method, ranks, opts.Workers, fspan)
-	b1, h1 := p.Sub1.Tensor.PlanStats()
-	b2, h2 := p.Sub2.Tensor.PlanStats()
+	factors := buildFactors(dp, opts.Method, ranks, opts.Workers, fspan)
+	b1, h1 := dp.Sub1.Tensor.PlanStats()
+	b2, h2 := dp.Sub2.Tensor.PlanStats()
 	fspan.Set("plan_builds_x1", b1-fb1)
 	fspan.Set("plan_hits_x1", h1-fh1)
 	fspan.Set("plan_builds_x2", b2-fb2)
@@ -167,11 +227,29 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 		return nil, err
 	}
 
-	// Phase 3: recover the core through the assembled factors.
+	// Phase 3: recover the core through the assembled factors. Sketched
+	// runs project a sketch of the join (the result still reports the
+	// full join on Result.Join).
 	coreClock := stopwatch()
 	cspan := opts.Span.Start("core")
+	cj := j
+	if skReport != nil {
+		if f := opts.Sketch.KeepFrac; f == 1 {
+			skReport.Join = tucker.SketchStats{InputNNZ: j.NNZ(), Kept: j.NNZ()}
+		} else {
+			jspan := cspan.Start("sketch_join")
+			sk, stj, err := tucker.Sketch(j, tucker.SketchOptions{KeepFrac: f, Seed: opts.Sketch.Seed + 3, Workers: opts.Workers})
+			if err != nil {
+				return nil, err
+			}
+			stj.Record(jspan)
+			jspan.Finish()
+			skReport.Join = stj
+			cj = sk
+		}
+	}
 	cdone := cspan.WithVitals(map[string]func() int64{"strips": parallel.Strips})
-	coreT := tucker.CoreFromFactorsWorkers(j, factors, opts.Workers)
+	coreT := tucker.CoreFromFactorsWorkers(cj, factors, opts.Workers)
 	cspan.Set("cells", int64(len(coreT.Data)))
 	cdone()
 	coreTime := coreClock()
@@ -180,10 +258,44 @@ func DecomposeCtx(ctx context.Context, p *partition.Result, opts Options) (*Resu
 		Factors:       factors,
 		Core:          coreT,
 		Join:          j,
+		Sketch:        skReport,
 		SubDecompTime: subTime,
 		StitchTime:    stitchTime,
 		CoreTime:      coreTime,
 	}, nil
+}
+
+// sketchSubs replaces both sub-tensors with their biased random sketches
+// in a shallow copy of the partition (the caller's Result is never
+// mutated). The two sketches use distinct derived seeds so equal-shaped
+// sub-tensors never share coin flips, and each records its stats on its
+// own child span — created serially here, so the span tree stays
+// deterministic.
+func sketchSubs(p *partition.Result, opts Options, rep *SketchReport, span *obs.Span) (*partition.Result, error) {
+	sketchOne := func(name string, x *tensor.Sparse, seed int64) (*tensor.Sparse, tucker.SketchStats, error) {
+		ss := span.Start(name)
+		sk, stats, err := tucker.Sketch(x, tucker.SketchOptions{KeepFrac: opts.Sketch.KeepFrac, Seed: seed, Workers: opts.Workers})
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Record(ss)
+		ss.Finish()
+		return sk, stats, nil
+	}
+	t1, st1, err := sketchOne("sketch_x1", p.Sub1.Tensor, opts.Sketch.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	t2, st2, err := sketchOne("sketch_x2", p.Sub2.Tensor, opts.Sketch.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sub1, rep.Sub2 = st1, st2
+	sub1, sub2 := *p.Sub1, *p.Sub2
+	sub1.Tensor, sub2.Tensor = t1, t2
+	out := *p
+	out.Sub1, out.Sub2 = &sub1, &sub2
+	return &out, nil
 }
 
 // buildFactors runs the sub-tensor decompositions and assembles the fused

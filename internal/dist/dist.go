@@ -80,6 +80,9 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 	if len(opts.Ranks) != p.Space.Order() {
 		return nil, fmt.Errorf("dist: %d ranks for order-%d space", len(opts.Ranks), p.Space.Order())
 	}
+	if opts.Sketch.KeepFrac != 0 {
+		return nil, fmt.Errorf("dist: sketching is not supported by D-M2TD (sketch locally with core.DecomposeCtx instead)")
+	}
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1

@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/stitch"
+	"repro/internal/tucker"
+)
+
+// SketchRow is one KeepFrac arm of the sketch accuracy-vs-speedup sweep.
+type SketchRow struct {
+	// KeepFrac is the expected fraction of cells the sketch retains
+	// (1 = exact, no sketching).
+	KeepFrac float64
+	// Kept and InputNNZ are the sketch's retained and source cell counts
+	// (Kept == InputNNZ on the exact arm).
+	Kept, InputNNZ int
+	// Accuracy is the paper metric of the sketched decomposition's
+	// reconstruction against the full ground truth; DeltaVsExact is the
+	// exact arm's accuracy minus this one (the price of the sketch).
+	Accuracy     float64
+	DeltaVsExact float64
+	// DecompTime is the wall-clock of the sketch-plus-decomposition;
+	// Speedup is the exact arm's DecompTime over this one.
+	DecompTime time.Duration
+	Speedup    float64
+}
+
+// SketchSweep measures the randomized sketch fast path's accuracy-vs-
+// speedup trade-off: the PF-partitioned ensembles are generated and
+// JE-stitched once, then the join is decomposed by SketchedHOSVD at each
+// KeepFrac and scored against the full ground truth. Every arm follows
+// the transient-tensor protocol of BenchmarkSketchedHOSVD — it receives
+// a fresh plan-less view of the join, so the exact arm pays kernel-plan
+// compilation on the full nnz exactly as a pipeline decomposition does,
+// which is the cost the sketch arms avoid by compiling on the
+// KeepFrac-sized sketch. Default fractions are {1, 0.5, 0.25, 0.1,
+// 0.05, 0.02}; an exact baseline is added when 1 is absent.
+func SketchSweep(base Config, fracs []float64) ([]SketchRow, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{1, 0.5, 0.25, 0.1, 0.05, 0.02}
+	}
+	cfg := base
+	if cfg.Res == 0 {
+		cfg = DefaultConfig("double-pendulum")
+	}
+	space, err := SpaceFor(cfg.System, cfg.Res, cfg.TimeSamples)
+	if err != nil {
+		return nil, err
+	}
+	truth := space.GroundTruth()
+	ranks := tucker.UniformRanks(space.Order(), cfg.Rank)
+	pcfg := partition.DefaultConfig(space.Order(), cfg.Pivot, PairsFor(cfg.System))
+	pcfg.PivotFrac = cfg.PivotFrac
+	pcfg.FreeFrac = cfg.FreeFrac
+	part, err := partition.Generate(space, pcfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	join := stitch.Join(part)
+
+	record := func(frac float64) (SketchRow, error) {
+		// PlanlessView: a pipeline decomposition always consumes a freshly
+		// stitched, plan-less join, so every arm pays compilation honestly.
+		start := time.Now()
+		dec, stats, err := tucker.SketchedHOSVD(join.PlanlessView(), ranks, tucker.SketchOptions{
+			KeepFrac: frac,
+			Seed:     cfg.Seed,
+		})
+		elapsed := time.Since(start)
+		if err != nil {
+			return SketchRow{}, fmt.Errorf("sketch sweep keep=%g: %w", frac, err)
+		}
+		return SketchRow{
+			KeepFrac:   frac,
+			Kept:       stats.Kept,
+			InputNNZ:   stats.InputNNZ,
+			Accuracy:   Accuracy(dec.Reconstruct(), truth),
+			DecompTime: elapsed,
+		}, nil
+	}
+
+	// Untimed exact warmup so the first timed arm is not charged for cold
+	// caches.
+	if _, err := record(1); err != nil {
+		return nil, err
+	}
+
+	rows := make([]SketchRow, 0, len(fracs))
+	exact := SketchRow{}
+	haveExact := false
+	for _, frac := range fracs {
+		row, err := record(frac)
+		if err != nil {
+			return nil, err
+		}
+		if frac == 1 && !haveExact {
+			exact, haveExact = row, true
+		}
+		rows = append(rows, row)
+	}
+	if !haveExact {
+		row, err := record(1)
+		if err != nil {
+			return nil, err
+		}
+		exact = row
+	}
+	for i := range rows {
+		rows[i].DeltaVsExact = exact.Accuracy - rows[i].Accuracy
+		if rows[i].DecompTime > 0 {
+			rows[i].Speedup = float64(exact.DecompTime) / float64(rows[i].DecompTime)
+		}
+	}
+	return rows, nil
+}
+
+// RenderSketchSweep prints the accuracy-vs-speedup report.
+func RenderSketchSweep(w io.Writer, rows []SketchRow) {
+	fmt.Fprintln(w, "SKETCH SWEEP: accuracy vs speedup of the randomized sketch fast path (join HOSVD)")
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Keep\tJoin cells\tAccuracy\tvs exact\tDecomp\tSpeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f%%\t%d/%d\t%s\t%+.3f\t%v\t%.2fx\n",
+			r.KeepFrac*100, r.Kept, r.InputNNZ, fmtAcc(r.Accuracy),
+			-r.DeltaVsExact, r.DecompTime.Round(time.Millisecond), r.Speedup)
+	}
+	tw.Flush()
+}
+
+// ExportSketchSweepCSV writes sketch-sweep rows as flat CSV for external
+// plotting tools.
+func ExportSketchSweepCSV(w io.Writer, rows []SketchRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"keep_frac", "kept", "input_nnz", "accuracy",
+		"acc_delta_vs_exact", "decomp_ms", "speedup",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := []string{
+			strconv.FormatFloat(r.KeepFrac, 'g', -1, 64),
+			strconv.Itoa(r.Kept),
+			strconv.Itoa(r.InputNNZ),
+			strconv.FormatFloat(r.Accuracy, 'g', -1, 64),
+			strconv.FormatFloat(r.DeltaVsExact, 'g', -1, 64),
+			strconv.FormatFloat(float64(r.DecompTime.Microseconds())/1000, 'g', -1, 64),
+			strconv.FormatFloat(r.Speedup, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

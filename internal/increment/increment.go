@@ -181,6 +181,11 @@ func (t *Tracker) Decompose(opts core.Options) (*core.Result, error) {
 	if len(opts.Ranks) != order {
 		return nil, fmt.Errorf("increment: %d ranks for order-%d space", len(opts.Ranks), order)
 	}
+	if opts.Sketch.KeepFrac != 0 {
+		// The tracker maintains exact Grams over every arrived cell; a
+		// sketch of them cannot be maintained incrementally.
+		return nil, fmt.Errorf("increment: sketching is not supported by the incremental tracker")
+	}
 	ranks := tucker.ClipRanks(t.space.Shape(), opts.Ranks)
 	k := len(t.cfg.Pivots)
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 )
 
 // Determinism enforces the bit-stability contract of the kernel packages
@@ -17,6 +18,13 @@ import (
 //   - reading the wall clock (time.Now/Since/Until) — wall time may only
 //     feed gauges, never values, and those reads are confined to
 //     annotated sites (conventionally obs.go files).
+//
+// The hash-only tier (util.go's hashOnlyPkgs: tensor, tucker, core,
+// stitch, parallel) goes further: importing math/rand at all is banned
+// there. Those packages fan per-entry loops out over arbitrary worker
+// counts, so even an explicit seeded *rand.Rand — whose draws depend on
+// traversal order — cannot produce bit-stable results; randomness must be
+// a counter-based hash of seed + index (DESIGN.md §12).
 //
 // Escape hatch: //lint:allow determinism -- <reason>.
 var Determinism = &Analyzer{
@@ -48,7 +56,19 @@ func runDeterminism(p *Pass) {
 	if !isDeterministicPkg(p.Pkg.Path) {
 		return
 	}
+	hashOnly := isHashOnlyPkg(p.Pkg.Path)
 	for _, file := range p.Pkg.Files {
+		if hashOnly {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "import of %s in a hash-only kernel package; randomness there must be a counter-based hash of seed + index (DESIGN.md §12)", path)
+				}
+			}
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.RangeStmt:
@@ -73,7 +93,9 @@ func runDeterminism(p *Pass) {
 						p.Reportf(n.Pos(), "time.%s reads the wall clock in a bit-stable kernel package; wall time is gauge-class observability and belongs behind an annotated obs helper", fn.Name())
 					}
 				case "math/rand", "math/rand/v2":
-					if !randConstructors[fn.Name()] {
+					// In hash-only packages the import diagnostic already
+					// covers every use; per-call reports would be noise.
+					if !hashOnly && !randConstructors[fn.Name()] {
 						p.Reportf(n.Pos(), "%s.%s uses the global random source; thread an explicit seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
 					}
 				}

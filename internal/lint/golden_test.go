@@ -17,8 +17,16 @@ import (
 
 func TestDeterminismGolden(t *testing.T) {
 	// The directory is named "tucker" so its import path ends in a
-	// kernel-package name and opts into the determinism suffix rule.
+	// kernel-package name and opts into the determinism suffix rule —
+	// including the hash-only tier, which bans the math/rand import
+	// outright.
 	linttest.Run(t, "tucker", lint.Determinism)
+}
+
+func TestDeterminismSeededTierGolden(t *testing.T) {
+	// "ensemble" is deterministic but NOT hash-only: explicit seeded
+	// generators stay legal there while the global source is banned.
+	linttest.Run(t, "ensemble", lint.Determinism)
 }
 
 func TestCtxPropGolden(t *testing.T) {

@@ -32,6 +32,33 @@ func isDeterministicPkg(path string) bool {
 	return deterministicPkgs[path[strings.LastIndex(path, "/")+1:]]
 }
 
+// hashOnlyPkgs is the stricter tier within deterministicPkgs: packages
+// whose randomness must be COUNTER-BASED — a pure hash of seed + index
+// (the internal/faults discipline, adopted by tucker.Sketch) — because
+// their kernels fan entry loops out over arbitrary worker counts. Even an
+// explicit seeded *rand.Rand is banned there: its stateful consumption
+// order couples every draw to the traversal order, which is exactly what
+// the bit-stability contract forbids. The math/rand import itself is the
+// violation. mat and ensemble stay in the seeded tier — their generators
+// are threaded explicitly and consumed serially (sampling plans, test
+// fixtures), which the determinism contract permits.
+var hashOnlyPkgs = map[string]bool{
+	"tensor":   true,
+	"tucker":   true,
+	"core":     true,
+	"stitch":   true,
+	"parallel": true,
+}
+
+// isHashOnlyPkg reports whether the import path names one of the
+// hash-only kernel packages (same suffix rule as isDeterministicPkg).
+func isHashOnlyPkg(path string) bool {
+	if !strings.Contains(path, "internal/") {
+		return false
+	}
+	return hashOnlyPkgs[path[strings.LastIndex(path, "/")+1:]]
+}
+
 // isToolPkg reports whether the import path is a command or example —
 // process entry points where wall clocks, context.Background, and
 // operator-facing output are legitimate.

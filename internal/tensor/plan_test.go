@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -226,5 +227,36 @@ func TestPlanCacheConcurrentKernels(t *testing.T) {
 	}
 	for g := 0; g < 4; g++ {
 		<-done
+	}
+}
+
+func TestPlanlessView(t *testing.T) {
+	s := NewSparse(Shape{3, 4})
+	s.RejectNonFinite = true
+	s.Append([]int{0, 1}, 2.5)
+	s.Append([]int{2, 3}, -1.0)
+	s.Append([]int{1, 0}, math.NaN()) // quarantined
+	s.PlanMode(0, 1)
+	if !s.HasPlanMode(0) {
+		t.Fatal("source should have a cached plan for mode 0")
+	}
+
+	v := s.PlanlessView()
+	if v.HasPlanMode(0) {
+		t.Error("view must start with an empty plan cache")
+	}
+	if v.NNZ() != s.NNZ() {
+		t.Fatalf("view NNZ = %d, want %d", v.NNZ(), s.NNZ())
+	}
+	if &v.Idx[0] != &s.Idx[0] || &v.Vals[0] != &s.Vals[0] {
+		t.Error("view must alias the source storage, not copy it")
+	}
+	if !v.RejectNonFinite || v.Rejected != 1 {
+		t.Errorf("view quarantine = (%v, %d), want (true, 1)", v.RejectNonFinite, v.Rejected)
+	}
+	// Plans built on the view stay on the view.
+	v.PlanMode(1, 1)
+	if s.HasPlanMode(1) {
+		t.Error("plan built on the view must not appear on the source")
 	}
 }

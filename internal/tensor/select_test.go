@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// selectFixture builds a multi-strip sparse tensor plus a pseudo-random
+// keep/scale pair (seeded — the mask itself must be identical across the
+// worker sweeps).
+func selectFixture(t *testing.T) (*Sparse, []bool, []float64) {
+	t.Helper()
+	s := seededSparse(Shape{14, 12, 10, 8}, 9000, 31)
+	rng := rand.New(rand.NewSource(32))
+	keep := make([]bool, s.NNZ())
+	scaled := make([]float64, s.NNZ())
+	for e := range keep {
+		keep[e] = rng.Float64() < 0.4
+		scaled[e] = s.Vals[e] * (1 + rng.Float64())
+	}
+	return s, keep, scaled
+}
+
+// serialSelect is the one-line specification SelectScaled must match.
+func serialSelect(s *Sparse, keep []bool, scaled []float64) *Sparse {
+	out := NewSparse(s.Shape)
+	out.RejectNonFinite = s.RejectNonFinite
+	out.Rejected = s.Rejected
+	o := s.Order()
+	for e := 0; e < s.NNZ(); e++ {
+		if keep[e] {
+			out.Idx = append(out.Idx, s.Idx[e*o:(e+1)*o]...)
+			out.Vals = append(out.Vals, scaled[e])
+		}
+	}
+	return out
+}
+
+func sparseEqualBits(a, b *Sparse) bool {
+	if len(a.Idx) != len(b.Idx) || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if math.Float64bits(a.Vals[i]) != math.Float64bits(b.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectScaledMatchesSerialFilterAcrossWorkers(t *testing.T) {
+	s, keep, scaled := selectFixture(t)
+	want := serialSelect(s, keep, scaled)
+	for _, w := range stripTestWorkers {
+		got, derived := s.SelectScaled(keep, scaled, w)
+		if derived != 0 {
+			t.Fatalf("workers=%d derived %d plans from a plan-less source", w, derived)
+		}
+		if !sparseEqualBits(want, got) {
+			t.Fatalf("workers=%d SelectScaled differs from the serial filter", w)
+		}
+		if got.RejectNonFinite != s.RejectNonFinite || got.Rejected != s.Rejected {
+			t.Fatalf("workers=%d quarantine state not inherited", w)
+		}
+	}
+}
+
+func TestSelectScaledBitStableUnderHighFanoutWorkers(t *testing.T) {
+	// Raise the fan-out cap above GOMAXPROCS so real goroutines interleave
+	// even on small CI machines (the faults job runs this under -race).
+	prev := parallel.SetFanoutCap(8)
+	defer parallel.SetFanoutCap(prev)
+	s, keep, scaled := selectFixture(t)
+	want, _ := s.SelectScaled(keep, scaled, 1)
+	for _, w := range stripTestWorkers[1:] {
+		t.Run("w="+strconv.Itoa(w), func(t *testing.T) {
+			got, _ := s.SelectScaled(keep, scaled, w)
+			if !sparseEqualBits(want, got) {
+				t.Fatalf("SelectScaled workers=%d differs under fanout cap 8", w)
+			}
+		})
+	}
+}
+
+func TestSelectScaledQuarantineInherited(t *testing.T) {
+	s := NewSparse(Shape{2, 2})
+	s.RejectNonFinite = true
+	s.Append([]int{0, 0}, 1)
+	s.Append([]int{0, 1}, math.NaN()) // quarantined
+	s.Append([]int{1, 1}, 2)
+	if s.Rejected != 1 || s.NNZ() != 2 {
+		t.Fatalf("fixture: rejected=%d nnz=%d", s.Rejected, s.NNZ())
+	}
+	out, _ := s.SelectScaled([]bool{true, false}, []float64{3, 0}, 1)
+	if !out.RejectNonFinite || out.Rejected != 1 {
+		t.Fatalf("quarantine state lost: RejectNonFinite=%v Rejected=%d", out.RejectNonFinite, out.Rejected)
+	}
+	// The empty-selection path must inherit too.
+	none, _ := s.SelectScaled([]bool{false, false}, []float64{0, 0}, 1)
+	if !none.RejectNonFinite || none.Rejected != 1 || none.NNZ() != 0 {
+		t.Fatalf("empty selection: RejectNonFinite=%v Rejected=%d nnz=%d", none.RejectNonFinite, none.Rejected, none.NNZ())
+	}
+}
+
+func TestSelectScaledDerivedPlanMatchesCompiled(t *testing.T) {
+	s, keep, scaled := selectFixture(t)
+	// Warm only modes 0 and 2: derivation must cover exactly the cached
+	// modes and leave the rest to compile on demand.
+	s.PlanMode(0, 1)
+	s.PlanMode(2, 1)
+	out, derived := s.SelectScaled(keep, scaled, 3)
+	if derived != 2 {
+		t.Fatalf("derived %d plans, want 2", derived)
+	}
+	if !out.HasPlanMode(0) || out.HasPlanMode(1) || !out.HasPlanMode(2) || out.HasPlanMode(3) {
+		t.Fatalf("cached modes: %v %v %v %v, want plans exactly on modes 0 and 2",
+			out.HasPlanMode(0), out.HasPlanMode(1), out.HasPlanMode(2), out.HasPlanMode(3))
+	}
+	// A fresh tensor with identical storage compiles the ground-truth
+	// plans; every field of the derived plans must match bit for bit.
+	fresh := NewSparse(out.Shape)
+	fresh.Idx = append([]int(nil), out.Idx...)
+	fresh.Vals = append([]float64(nil), out.Vals...)
+	for _, n := range []int{0, 1, 2, 3} {
+		got := out.PlanMode(n, 1)
+		want := fresh.PlanMode(n, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mode %d plan differs from a fresh compile:\n got %+v\nwant %+v", n, got, want)
+		}
+	}
+	// Kernels consuming the derived plans must agree with the fresh ones.
+	for n := 0; n < out.Order(); n++ {
+		if !matEqualBits(ModeGramWorkers(out, n, 2), ModeGramWorkers(fresh, n, 2)) {
+			t.Fatalf("mode %d Gram differs between derived and compiled plans", n)
+		}
+	}
+}
+
+func TestAbsSumStripStableAcrossWorkers(t *testing.T) {
+	prev := parallel.SetFanoutCap(8)
+	defer parallel.SetFanoutCap(prev)
+	s := seededSparse(Shape{24, 24, 24}, 13000, 33) // 3 strips at grain 4096
+	want := s.AbsSum(1)
+	for _, w := range stripTestWorkers[1:] {
+		if got := s.AbsSum(w); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("AbsSum workers=%d = %v differs from workers=1 = %v", w, got, want)
+		}
+	}
+	// Small inputs stay single-strip: exactly the undivided serial sum.
+	small := seededSparse(Shape{6, 6, 6}, 100, 34)
+	var serial float64
+	for _, v := range small.Vals {
+		serial += math.Abs(v)
+	}
+	if math.Float64bits(small.AbsSum(4)) != math.Float64bits(serial) {
+		t.Fatalf("single-strip AbsSum differs from the serial loop")
+	}
+}

@@ -50,6 +50,23 @@ func NewSparse(shape Shape) *Sparse {
 	return &Sparse{Shape: shape.Clone()}
 }
 
+// PlanlessView returns a tensor sharing s's entry storage with an empty
+// kernel-plan cache — the transient-tensor protocol for decomposition
+// benchmarks and sweeps, where every arm must pay plan compilation as a
+// freshly stitched tensor would. The view inherits the quarantine
+// accounting (RejectNonFinite/Rejected). The storage is aliased, not
+// copied: mutating either tensor's entries corrupts the other's plan
+// generation, so callers must treat both as read-only.
+func (s *Sparse) PlanlessView() *Sparse {
+	return &Sparse{
+		Shape:           s.Shape.Clone(),
+		Idx:             s.Idx,
+		Vals:            s.Vals,
+		RejectNonFinite: s.RejectNonFinite,
+		Rejected:        s.Rejected,
+	}
+}
+
 // NNZ returns the number of stored entries.
 func (s *Sparse) NNZ() int { return len(s.Vals) }
 

@@ -3,46 +3,71 @@ package tucker
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"testing"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 func TestSketchValidation(t *testing.T) {
 	x := tensor.NewSparse(tensor.Shape{2, 2})
-	rng := rand.New(rand.NewSource(1))
-	if _, err := Sketch(x, SketchOptions{KeepFrac: 0, Rng: rng}); err == nil {
-		t.Fatal("KeepFrac 0 accepted")
-	}
-	if _, err := Sketch(x, SketchOptions{KeepFrac: 2, Rng: rng}); err == nil {
-		t.Fatal("KeepFrac 2 accepted")
-	}
-	if _, err := Sketch(x, SketchOptions{KeepFrac: 0.5}); err == nil {
-		t.Fatal("nil Rng accepted")
-	}
-	if _, err := SketchedHOSVD(x, []int{1, 1}, SketchOptions{KeepFrac: 0}); err == nil {
-		t.Fatal("SketchedHOSVD with bad options accepted")
+	for _, frac := range []float64{0, -0.5, 1.5, 2} {
+		if _, _, err := Sketch(x, SketchOptions{KeepFrac: frac, Seed: 1}); err == nil {
+			t.Fatalf("KeepFrac %v accepted", frac)
+		}
+		if _, _, err := SketchedHOSVD(x, []int{1, 1}, SketchOptions{KeepFrac: frac, Seed: 1}); err == nil {
+			t.Fatalf("SketchedHOSVD with KeepFrac %v accepted", frac)
+		}
+		if _, _, err := SketchedHOOI(x, []int{1, 1}, SketchOptions{KeepFrac: frac, Seed: 1}, HOOIOptions{}); err == nil {
+			t.Fatalf("SketchedHOOI with KeepFrac %v accepted", frac)
+		}
 	}
 }
 
 func TestSketchEmptyAndZero(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	empty, err := Sketch(tensor.NewSparse(tensor.Shape{3, 3}), SketchOptions{KeepFrac: 0.5, Rng: rng})
-	if err != nil || empty.NNZ() != 0 {
-		t.Fatalf("empty sketch: %v, %d cells", err, empty.NNZ())
+	empty, stats, err := Sketch(tensor.NewSparse(tensor.Shape{3, 3}), SketchOptions{KeepFrac: 0.5, Seed: 2})
+	if err != nil || empty.NNZ() != 0 || stats.Kept != 0 {
+		t.Fatalf("empty sketch: %v, %d cells, stats %+v", err, empty.NNZ(), stats)
 	}
 	zeros := tensor.NewSparse(tensor.Shape{2})
 	zeros.Append([]int{0}, 0)
-	sk, err := Sketch(zeros, SketchOptions{KeepFrac: 0.5, Rng: rng})
+	sk, stats, err := Sketch(zeros, SketchOptions{KeepFrac: 0.5, Seed: 2})
 	if err != nil || sk.NNZ() != 0 {
 		t.Fatalf("all-zero sketch: %v, %d cells", err, sk.NNZ())
+	}
+	if stats.InputNNZ != 1 || stats.Kept != 0 {
+		t.Fatalf("all-zero stats %+v", stats)
+	}
+}
+
+func TestSketchIsPureFunctionOfSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomDense(rng, tensor.Shape{10, 10, 10}).ToSparse(0)
+	a, astats, err := Sketch(x, SketchOptions{KeepFrac: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bstats, err := Sketch(x, SketchOptions{KeepFrac: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparseBitsEqual(a, b) || astats != bstats {
+		t.Fatal("same seed produced different sketches")
+	}
+	c, _, err := Sketch(x, SketchOptions{KeepFrac: 0.3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparseBitsEqual(a, c) {
+		t.Fatal("different seeds produced identical sketches (hash not keyed on seed?)")
 	}
 }
 
 func TestSketchSizeTracksKeepFrac(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	x := randomDense(rng, tensor.Shape{10, 10, 10}).ToSparse(0)
-	sk, err := Sketch(x, SketchOptions{KeepFrac: 0.3, Rng: rng})
+	sk, stats, err := Sketch(x, SketchOptions{KeepFrac: 0.3, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,10 +75,22 @@ func TestSketchSizeTracksKeepFrac(t *testing.T) {
 	if got < 0.15 || got > 0.5 {
 		t.Fatalf("kept fraction %v, want ≈0.3", got)
 	}
+	if stats.InputNNZ != x.NNZ() || stats.Kept != sk.NNZ() || stats.Dropped() != x.NNZ()-sk.NNZ() {
+		t.Fatalf("stats %+v inconsistent with sketch of %d/%d", stats, sk.NNZ(), x.NNZ())
+	}
+	var hist int64
+	for _, c := range stats.ScaleHist {
+		hist += c
+	}
+	if hist != int64(stats.Kept) {
+		t.Fatalf("scale histogram sums to %d, want kept=%d", hist, stats.Kept)
+	}
 }
 
 func TestSketchIsUnbiased(t *testing.T) {
-	// Averaging many independent sketches approaches the original tensor.
+	// Averaging many independent sketches (one per SEED — the estimator's
+	// randomness is the hash seed now, not a generator state) approaches
+	// the original tensor.
 	rng := rand.New(rand.NewSource(4))
 	x := randomDense(rng, tensor.Shape{4, 4})
 	for i := range x.Data {
@@ -62,8 +99,8 @@ func TestSketchIsUnbiased(t *testing.T) {
 	sp := x.ToSparse(0)
 	sum := tensor.NewDense(x.Shape)
 	const trials = 3000
-	for i := 0; i < trials; i++ {
-		sk, err := Sketch(sp, SketchOptions{KeepFrac: 0.5, Rng: rng})
+	for seed := int64(1); seed <= trials; seed++ {
+		sk, _, err := Sketch(sp, SketchOptions{KeepFrac: 0.5, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,28 +113,116 @@ func TestSketchIsUnbiased(t *testing.T) {
 	}
 }
 
+func TestSketchBitStableAcrossWorkers(t *testing.T) {
+	// The sketch must be the identical tensor for any worker count and
+	// fan-out cap (the faults job sweeps this under -race at several
+	// M2TD_WORKERS values). 9000 entries push both the AbsSum grid and the
+	// selection grid into multi-strip territory.
+	prev := parallel.SetFanoutCap(8)
+	defer parallel.SetFanoutCap(prev)
+	rng := rand.New(rand.NewSource(9))
+	x := randomDense(rng, tensor.Shape{12, 10, 8, 10}).ToSparse(0)
+	opts := SketchOptions{KeepFrac: 0.2, Seed: 11}
+	opts.Workers = 1
+	want, wstats, err := Sketch(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		t.Run("w="+strconv.Itoa(w), func(t *testing.T) {
+			opts.Workers = w
+			got, gstats, err := Sketch(x, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sparseBitsEqual(want, got) {
+				t.Fatalf("sketch workers=%d differs from workers=1", w)
+			}
+			if wstats != gstats {
+				t.Fatalf("stats workers=%d %+v differ from workers=1 %+v", w, gstats, wstats)
+			}
+		})
+	}
+}
+
+func TestSketchInheritsPlansAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := randomDense(rng, tensor.Shape{12, 10, 8, 10}).ToSparse(0)
+	// Decompose once so every mode plan is cached on the source, then
+	// sketch: all plans must be derived, and the sketched decomposition
+	// must match a plan-less sketch's bits exactly.
+	HOSVD(x, UniformRanks(4, 4))
+	sk, stats, err := Sketch(x, SketchOptions{KeepFrac: 0.3, Seed: 5, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlansDerived != x.Order() {
+		t.Fatalf("derived %d plans, want %d", stats.PlansDerived, x.Order())
+	}
+	for n := 0; n < sk.Order(); n++ {
+		if !sk.HasPlanMode(n) {
+			t.Fatalf("mode %d plan not installed on the sketch", n)
+		}
+	}
+	fresh, freshStats, err := Sketch(x.Clone(), SketchOptions{KeepFrac: 0.3, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshStats.PlansDerived != 0 {
+		t.Fatalf("clone-source sketch derived %d plans, want 0", freshStats.PlansDerived)
+	}
+	a := HOSVD(sk, UniformRanks(4, 4))
+	b := HOSVD(fresh, UniformRanks(4, 4))
+	if !decompBitsEqual(a, b) {
+		t.Fatal("decomposition through derived plans differs from compiled plans")
+	}
+}
+
+func TestSketchInheritsQuarantine(t *testing.T) {
+	x := tensor.NewSparse(tensor.Shape{4, 4})
+	x.RejectNonFinite = true
+	x.Append([]int{0, 0}, math.Inf(1)) // quarantined at ingest
+	x.Append([]int{1, 2}, 5)
+	x.Append([]int{3, 3}, -2)
+	if x.Rejected != 1 {
+		t.Fatalf("fixture rejected=%d", x.Rejected)
+	}
+	sk, _, err := Sketch(x, SketchOptions{KeepFrac: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.RejectNonFinite || sk.Rejected != 1 {
+		t.Fatalf("sketch dropped quarantine state: RejectNonFinite=%v Rejected=%d", sk.RejectNonFinite, sk.Rejected)
+	}
+}
+
 func TestSketchedHOSVDConvergesToHOSVD(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	x := randomDense(rng, tensor.Shape{8, 8, 8})
 	sp := x.ToSparse(0)
 	ranks := UniformRanks(3, 3)
-	exact := HOSVD(sp, ranks).RelativeError(x)
+	exactDec := HOSVD(sp, ranks)
+	exact := exactDec.RelativeError(x)
 
-	full, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 1, Rng: rng})
+	full, stats, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 1, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(full.RelativeError(x)-exact) > 1e-12 {
-		t.Fatal("KeepFrac=1 sketch differs from plain HOSVD")
+	// KeepFrac = 1 must be plain HOSVD bit for bit, not merely close.
+	if !decompBitsEqual(full, exactDec) {
+		t.Fatal("KeepFrac=1 sketch is not bit-identical to plain HOSVD")
+	}
+	if stats.Kept != sp.NNZ() || stats.Dropped() != 0 {
+		t.Fatalf("KeepFrac=1 stats %+v", stats)
 	}
 
 	// Heavier sketches should not do much worse than light ones on
 	// average; just sanity-check the error ordering loosely.
-	light, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 0.2, Rng: rand.New(rand.NewSource(6))})
+	light, _, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 0.2, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 0.8, Rng: rand.New(rand.NewSource(6))})
+	heavy, _, err := SketchedHOSVD(sp, ranks, SketchOptions{KeepFrac: 0.8, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,4 +232,71 @@ func TestSketchedHOSVDConvergesToHOSVD(t *testing.T) {
 	if light.RelativeError(x) < exact-1e-9 {
 		t.Fatal("sketched error below exact HOSVD error (impossible for this tensor)")
 	}
+}
+
+func TestSketchedHOOI(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := randomDense(rng, tensor.Shape{8, 8, 8})
+	sp := x.ToSparse(0)
+	ranks := UniformRanks(3, 3)
+	full, _, err := SketchedHOOI(sp, ranks, SketchOptions{KeepFrac: 1, Seed: 2}, HOOIOptions{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decompBitsEqual(full, HOOI(sp, ranks, HOOIOptions{MaxIterations: 2})) {
+		t.Fatal("KeepFrac=1 SketchedHOOI is not bit-identical to plain HOOI")
+	}
+	dec, stats, err := SketchedHOOI(sp, ranks, SketchOptions{KeepFrac: 0.5, Seed: 2}, HOOIOptions{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Kept == 0 || stats.Kept >= stats.InputNNZ {
+		t.Fatalf("stats %+v", stats)
+	}
+	if e := dec.RelativeError(x); math.IsNaN(e) || e > 1.5 {
+		t.Fatalf("sketched HOOI error %v", e)
+	}
+}
+
+// sparseBitsEqual reports exact equality of shape, indices, and value bits.
+func sparseBitsEqual(a, b *tensor.Sparse) bool {
+	if a.NNZ() != b.NNZ() || len(a.Idx) != len(b.Idx) {
+		return false
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if math.Float64bits(a.Vals[i]) != math.Float64bits(b.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// decompBitsEqual reports exact equality of two decompositions' cores and
+// factors.
+func decompBitsEqual(a, b Decomposition) bool {
+	if len(a.Factors) != len(b.Factors) || len(a.Core.Data) != len(b.Core.Data) {
+		return false
+	}
+	for i := range a.Core.Data {
+		if math.Float64bits(a.Core.Data[i]) != math.Float64bits(b.Core.Data[i]) {
+			return false
+		}
+	}
+	for n := range a.Factors {
+		fa, fb := a.Factors[n], b.Factors[n]
+		if fa.Rows != fb.Rows || fa.Cols != fb.Cols {
+			return false
+		}
+		for i := range fa.Data {
+			if math.Float64bits(fa.Data[i]) != math.Float64bits(fb.Data[i]) {
+				return false
+			}
+		}
+	}
+	return true
 }
