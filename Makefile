@@ -11,7 +11,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build vet lint lint-extra test race bench bench-json bench-diff bench-smoke fuzz-smoke trace-smoke ci clean
+.PHONY: all build vet lint lint-extra test race bench bench-json bench-diff bench-dist-json bench-dist-diff bench-smoke fuzz-smoke trace-smoke dist-smoke ci clean
 
 all: build
 
@@ -81,6 +81,33 @@ bench-diff:
 	$(GO) run ./cmd/benchjson -out BENCH_new.json -benchtime 2s
 	$(GO) run ./cmd/benchjson -diff $(BENCH_GATE) BENCH_7.json BENCH_new.json
 
+# Multi-process engine benchmark snapshot (BENCH_8.json): the distnet
+# coordinator/worker campaign — process spawn, localhost TCP framing,
+# store round-trips, and all three D-M2TD phases — against worker-process
+# count (Table III's phase-time-vs-servers curve with real IPC overhead).
+bench-dist-json:
+	$(GO) run ./cmd/benchjson -out BENCH_8.json -benchtime 2s \
+		-bench BenchmarkDistNet -pkgs ./internal/distnet
+
+# Gate flags for the distnet snapshot, looser than BENCH_GATE on purpose:
+# each iteration forks worker processes and round-trips artifacts through
+# the filesystem, so absolute ns/op swings with the box's fork and disk
+# latency far more than the in-process kernels do. No -shape gate either —
+# at the benchmark's deliberately tiny problem size, extra processes are
+# pure spawn overhead and the workers curve is NOT expected to be
+# monotone. The sharp distributed regression checks are the bit-identity
+# drills (dist-smoke and the CI chaos job), not wall-clock. allocs/op is
+# coordinator-side bookkeeping (per-frame JSON, goroutines, timers) whose
+# count moves with heartbeat/lease timing, hence the wide absolute band.
+DIST_BENCH_GATE = -tol 1.5 -allocs-tol 4096
+
+# Re-measure the multi-process engine and diff against the checked-in
+# BENCH_8.json — what the CI chaos job runs after the kill drills.
+bench-dist-diff:
+	$(GO) run ./cmd/benchjson -out BENCH_8_new.json -benchtime 2s \
+		-bench BenchmarkDistNet -pkgs ./internal/distnet
+	$(GO) run ./cmd/benchjson -diff $(DIST_BENCH_GATE) BENCH_8.json BENCH_8_new.json
+
 # One iteration of every benchmark — keeps benchmark code compiling and
 # running without measuring anything.
 bench-smoke:
@@ -102,7 +129,24 @@ trace-smoke:
 	$(GO) run ./cmd/tracecat trace.jsonl
 	@rm -f trace.jsonl trace-run.stderr
 
-ci: build lint test race bench-smoke fuzz-smoke trace-smoke
+# Distributed kill-and-recover drill (mirrors the CI `chaos` job): the
+# same campaign on 3 worker processes with 0, 1, and 2 workers SIGKILLed
+# mid-task must produce the same core fingerprint bit for bit, and the
+# killed run's merged trace must replay through tracecat. A stable
+# -dist-shards pins the determinism unit so the three runs are comparable.
+dist-smoke:
+	$(GO) run ./cmd/m2tdbench -run -res 6 -dist-procs 3 -dist-shards 4 > dist-clean.out
+	$(GO) run ./cmd/m2tdbench -run -res 6 -dist-procs 3 -dist-shards 4 \
+		-kill-workers 1 -trace-out dist-trace.jsonl > dist-kill1.out
+	$(GO) run ./cmd/m2tdbench -run -res 6 -dist-procs 3 -dist-shards 4 \
+		-kill-workers 2 > dist-kill2.out
+	@grep '^core fingerprint' dist-clean.out dist-kill1.out dist-kill2.out
+	@test "$$(grep -h '^core fingerprint' dist-clean.out dist-kill1.out dist-kill2.out | sort -u | wc -l)" = 1 \
+		|| (echo "kill-and-recover drill: fingerprints diverged"; exit 1)
+	$(GO) run ./cmd/tracecat dist-trace.jsonl > /dev/null
+	@rm -f dist-clean.out dist-kill1.out dist-kill2.out dist-trace.jsonl
+
+ci: build lint test race bench-smoke fuzz-smoke trace-smoke dist-smoke
 
 clean:
 	$(GO) clean ./...

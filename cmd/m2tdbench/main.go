@@ -34,8 +34,10 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	m2td "repro"
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/faults"
 	"repro/internal/parallel"
@@ -76,7 +79,15 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars, and /debug/pprof/ on this address for the process lifetime (e.g. 127.0.0.1:0 for a free port)")
 		traceOut    = flag.String("trace-out", "", "with -run: record a stage-span trace and write it as JSONL to this file (summarize with cmd/tracecat)")
+
+		distProcs   = flag.Int("dist-procs", 0, "with -run: decompose on this many real worker PROCESSES (the internal/distnet engine) instead of in-process")
+		distShards  = flag.Int("dist-shards", 0, "with -run: fixed task-shard count, the determinism unit (0 = -dist-procs)")
+		distAddr    = flag.String("dist-addr", "", "with -run: coordinator listen address (default 127.0.0.1:0)")
+		distDir     = flag.String("dist-dir", "", "with -run: shared artifact catalog directory (default: a temp dir; a stable path enables resume)")
+		killWorkers = flag.Int("kill-workers", 0, "with -run -dist-procs: SIGKILL this many workers mid-task at seeded points (kill-and-recover drill)")
+		killSeed    = flag.Int64("kill-seed", 0, "with -kill-workers: kill-lottery seed (0 = -seed)")
 	)
+	m2td.MaybeDistWorker()
 	flag.Parse()
 	parallel.SetDefaultWorkers(*par)
 
@@ -105,6 +116,16 @@ func main() {
 		}
 		if frac := firstFloat(*sketch); frac > 0 {
 			cfg.Sketch = m2td.SketchConfig{KeepFrac: frac, Seed: *sketchSeed}
+		}
+		if *distProcs > 0 {
+			cfg.Distributed = &m2td.DistributedConfig{
+				Workers:     *distProcs,
+				Shards:      *distShards,
+				Addr:        *distAddr,
+				WorkDir:     *distDir,
+				KillWorkers: *killWorkers,
+				KillSeed:    *killSeed,
+			}
 		}
 		if err := runPipeline(cfg, *timeout, *traceOut); err != nil {
 			stopMetrics()
@@ -194,10 +215,41 @@ func runPipeline(cfg m2td.Config, timeout time.Duration, traceOut string) error 
 			fs.TransientSims, fs.TransientFailures, fs.DivergentSims, fs.PanickedSims, fs.DelayedSims)
 	}
 	fmt.Printf("join cells         %d\n", report.JoinCells)
+	if ds := report.Distributed; ds != nil {
+		fmt.Printf("dist workers       %d (lost %d, requeues %d, skipped tasks %d)\n",
+			ds.Workers, ds.WorkersLost, ds.Requeues, ds.TasksSkipped)
+		fmt.Printf("dist phases        p1 %v, p2 %v, p3 %v\n",
+			ds.Phase1.Round(time.Millisecond), ds.Phase2.Round(time.Millisecond), ds.Phase3.Round(time.Millisecond))
+	}
+	fmt.Printf("core fingerprint   %016x\n", decompFingerprint(report.Decomposition))
 	fmt.Printf("sim %v, decomp %v, total %v\n",
 		report.SimTime.Round(time.Millisecond), report.DecompTime.Round(time.Millisecond),
 		time.Since(start).Round(time.Millisecond))
 	return writeTrace(traceOut, report)
+}
+
+// decompFingerprint hashes the decomposition's exact bits (core then
+// factors, FNV-1a over each float64's bit pattern), so two runs can be
+// compared for BIT-identity from the shell — the CI chaos job diffs the
+// fingerprint of a kill-workers run against an unkilled one.
+func decompFingerprint(res *core.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, v := range res.Core.Data {
+		word(v)
+	}
+	for _, f := range res.Factors {
+		binary.LittleEndian.PutUint64(buf[:], uint64(f.Rows)<<32|uint64(f.Cols))
+		h.Write(buf[:])
+		for _, v := range f.Data {
+			word(v)
+		}
+	}
+	return h.Sum64()
 }
 
 // runSeeds executes the multi-seed sweep of the base configuration.

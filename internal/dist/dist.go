@@ -89,7 +89,6 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 	}
 	ranks := tucker.ClipRanks(p.Space.Shape(), opts.Ranks)
 	cfg := p.Config
-	k := len(cfg.Pivots)
 
 	cells := collectCells(p)
 
@@ -133,25 +132,9 @@ func Decompose(p *partition.Result, opts Options) (*Result, error) {
 	}
 
 	// Fuse pivot factors and collect free factors (driver-side: tiny
-	// matrices only).
-	factors := make([]*mat.Matrix, p.Space.Order())
-	for i, m := range cfg.Pivots {
-		switch opts.Method {
-		case core.AVG:
-			factors[m] = mat.Average(byKappa[1].factors[i], byKappa[2].factors[i])
-		case core.CONCAT:
-			g := mat.Add(byKappa[1].grams[i], byKappa[2].grams[i])
-			factors[m] = mat.LeadingEigenvectors(g, ranks[m])
-		case core.SELECT:
-			factors[m] = core.RowSelect(byKappa[1].factors[i], byKappa[2].factors[i])
-		}
-	}
-	for i, m := range cfg.Free1 {
-		factors[m] = byKappa[1].factors[k+i]
-	}
-	for i, m := range cfg.Free2 {
-		factors[m] = byKappa[2].factors[k+i]
-	}
+	// matrices only) via the engine-independent kernel (join.go).
+	factors := FuseFactors(opts.Method, cfg, p.Space.Order(), ranks,
+		byKappa[1].factors, byKappa[1].grams, byKappa[2].factors, byKappa[2].grams)
 
 	// ---- Phase 2: parallel JE-stitching ----
 	j, p2stats := stitchPhase(p, cells, workers, opts.ZeroJoin)

@@ -1,0 +1,194 @@
+package dist
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// This file is the engine-independent heart of Phases 1–2: the pivot-key
+// geometry, the per-group JE-stitch kernel, and the pivot-factor fusion.
+// Both D-M2TD engines — the in-process MapReduce one in this package and
+// the multi-process internal/distnet one — call these same functions, so
+// their outputs agree cell-for-cell by construction.
+
+// Cell is one sub-tensor cell in SUB-LOCAL index order (pivot modes
+// leading, as partition.SubEnsemble tensors are laid out).
+type Cell struct {
+	Idx []int
+	Val float64
+}
+
+// SortCells orders cells lexicographically by index — the deterministic
+// within-group order every stitch engine must present to JoinGroup.
+func SortCells(cs []Cell) {
+	sort.Slice(cs, func(a, b int) bool {
+		ia, ib := cs[a].Idx, cs[b].Idx
+		for i := range ia {
+			if ia[i] != ib[i] {
+				return ia[i] < ib[i]
+			}
+		}
+		return false
+	})
+}
+
+// JoinSpec describes the JE-stitch geometry of a PF-partitioned pair:
+// the full space shape, which full-space modes are pivots and which are
+// each side's free modes, and whether zero-join extensions are emitted.
+// It is a pure value (JSON-serializable by the distributed runtime), and
+// every method on it is a pure function — the determinism contract's
+// foundation.
+type JoinSpec struct {
+	Shape    tensor.Shape `json:"shape"`
+	Pivots   []int        `json:"pivots"`
+	Free1    []int        `json:"free1"`
+	Free2    []int        `json:"free2"`
+	ZeroJoin bool         `json:"zero_join,omitempty"`
+}
+
+// NewJoinSpec derives the spec for a partitioned pair.
+func NewJoinSpec(p *partition.Result, zeroJoin bool) JoinSpec {
+	return JoinSpec{
+		Shape:    p.Space.Shape(),
+		Pivots:   p.Config.Pivots,
+		Free1:    p.Config.Free1,
+		Free2:    p.Config.Free2,
+		ZeroJoin: zeroJoin,
+	}
+}
+
+// PivotSizes returns the pivot modes' dimensions in pivot order.
+func (s JoinSpec) PivotSizes() []int {
+	sizes := make([]int, len(s.Pivots))
+	for i, m := range s.Pivots {
+		sizes[i] = s.Shape[m]
+	}
+	return sizes
+}
+
+// PivotKey linearises a sub-local index's pivot coordinates — identical
+// for both sub-tensors since pivots lead the mode order on each side.
+// Keys are dense in [0, ∏ pivot sizes), so key % shards is a balanced,
+// timing-independent shard assignment.
+func (s JoinSpec) PivotKey(idx []int) int {
+	key := 0
+	for i, size := range s.PivotSizes() {
+		key = key*size + idx[i]
+	}
+	return key
+}
+
+// DecodePivotKey inverts PivotKey into pivot-mode coordinates.
+func (s JoinSpec) DecodePivotKey(key int) []int {
+	sizes := s.PivotSizes()
+	idx := make([]int, len(sizes))
+	rem := key
+	for i := len(sizes) - 1; i >= 0; i-- {
+		idx[i] = rem % sizes[i]
+		rem /= sizes[i]
+	}
+	return idx
+}
+
+// FreeGrids enumerates both sides' full free-coordinate grids — the
+// universe the zero-join extension subtracts sampled coordinates from.
+// Callers stitching many groups should compute them once.
+func (s JoinSpec) FreeGrids() (free1, free2 [][]int) {
+	return enumerate(s.Shape, s.Free1), enumerate(s.Shape, s.Free2)
+}
+
+// JoinGroup stitches one pivot group: side1 and side2 hold the group's
+// cells from each sub-tensor, sorted with SortCells; free1All/free2All
+// are the FreeGrids (only consulted when ZeroJoin is set; nil is fine
+// otherwise). Join cells are emitted in full-space index order derived
+// deterministically from the inputs: matched pairs first (side1-major),
+// then side2's zero-join extensions, then side1's.
+func (s JoinSpec) JoinGroup(key int, side1, side2 []Cell, free1All, free2All [][]int, emit func(idx []int, val float64)) {
+	k := len(s.Pivots)
+	pivotIdx := s.DecodePivotKey(key)
+	emitCell := func(f1, f2 []int, v float64) {
+		full := make([]int, len(s.Shape))
+		for i, m := range s.Pivots {
+			full[m] = pivotIdx[i]
+		}
+		for i, m := range s.Free1 {
+			full[m] = f1[i]
+		}
+		for i, m := range s.Free2 {
+			full[m] = f2[i]
+		}
+		emit(full, v)
+	}
+	// Matched pairs.
+	for _, c1 := range side1 {
+		for _, c2 := range side2 {
+			emitCell(c1.Idx[k:], c2.Idx[k:], (c1.Val+c2.Val)/2)
+		}
+	}
+	if !s.ZeroJoin {
+		return
+	}
+	// Zero-join extensions against unsampled partners.
+	sampled1 := sampledCellSet(side1, k)
+	sampled2 := sampledCellSet(side2, k)
+	for _, f2 := range free2All {
+		if sampled2[localKey(f2)] {
+			continue
+		}
+		for _, c1 := range side1 {
+			emitCell(c1.Idx[k:], f2, c1.Val/2)
+		}
+	}
+	for _, f1 := range free1All {
+		if sampled1[localKey(f1)] {
+			continue
+		}
+		for _, c2 := range side2 {
+			emitCell(f1, c2.Idx[k:], c2.Val/2)
+		}
+	}
+}
+
+// sampledCellSet returns the set of free coordinates present in one side
+// of a pivot group.
+func sampledCellSet(side []Cell, k int) map[int]bool {
+	out := make(map[int]bool, len(side))
+	for _, c := range side {
+		out[localKey(c.Idx[k:])] = true
+	}
+	return out
+}
+
+// FuseFactors fuses Phase 1's per-sub-tensor outputs into the full
+// factor list (Algorithm 6 line "fuse pivot factors"): pivot-mode
+// factors are fused per the method — AVG averages, CONCAT re-solves the
+// summed Grams, SELECT row-selects — and each side's free-mode factors
+// are taken as-is. sub1F/sub2F and sub1G/sub2G are each sub-tensor's
+// per-sub-local-mode factor and Gram matrices; ranks are the full-space
+// clipped ranks (CONCAT's re-solve needs them).
+func FuseFactors(method core.Method, cfg partition.Config, order int, ranks []int, sub1F, sub1G, sub2F, sub2G []*mat.Matrix) []*mat.Matrix {
+	k := len(cfg.Pivots)
+	factors := make([]*mat.Matrix, order)
+	for i, m := range cfg.Pivots {
+		switch method {
+		case core.AVG:
+			factors[m] = mat.Average(sub1F[i], sub2F[i])
+		case core.CONCAT:
+			g := mat.Add(sub1G[i], sub2G[i])
+			factors[m] = mat.LeadingEigenvectors(g, ranks[m])
+		case core.SELECT:
+			factors[m] = core.RowSelect(sub1F[i], sub2F[i])
+		}
+	}
+	for i, m := range cfg.Free1 {
+		factors[m] = sub1F[k+i]
+	}
+	for i, m := range cfg.Free2 {
+		factors[m] = sub2F[k+i]
+	}
+	return factors
+}

@@ -15,98 +15,39 @@ type joinCell struct {
 
 // stitchPhase is Phase 2: cells from both sub-tensors are shuffled by
 // pivot configuration; each reducer joins its group into join-tensor
-// cells.
+// cells via the engine-independent JoinSpec kernel (join.go).
 func stitchPhase(p *partition.Result, cells []taggedCell, workers int, zero bool) (*tensor.Sparse, mapreduce.Stats) {
-	space := p.Space
-	cfg := p.Config
-	k := len(cfg.Pivots)
-	shape := space.Shape()
-
-	// Pivot key: linearised pivot coordinates (identical for both
-	// sub-tensors since pivots lead the mode order on each side).
-	pivotSizes := make([]int, k)
-	for i, m := range cfg.Pivots {
-		pivotSizes[i] = shape[m]
-	}
-	pivotKeyOf := func(idx []int) int {
-		key := 0
-		for i := 0; i < k; i++ {
-			key = key*pivotSizes[i] + idx[i]
-		}
-		return key
-	}
+	spec := NewJoinSpec(p, zero)
 
 	// Full free grids, enumerated once for zero-join reducers.
-	free1All := enumerate(shape, cfg.Free1)
-	free2All := enumerate(shape, cfg.Free2)
+	var free1All, free2All [][]int
+	if spec.ZeroJoin {
+		free1All, free2All = spec.FreeGrids()
+	}
 
 	job := &mapreduce.Job[taggedCell, int, taggedCell, joinCell]{
 		Map: func(c taggedCell, emit func(int, taggedCell)) {
-			emit(pivotKeyOf(c.idx), c)
+			emit(spec.PivotKey(c.idx), c)
 		},
 		Reduce: func(key int, group []taggedCell, emit func(joinCell)) {
 			sortCells(group)
-			var side1, side2 []taggedCell
+			var side1, side2 []Cell
 			for _, c := range group {
 				if c.kappa == 1 {
-					side1 = append(side1, c)
+					side1 = append(side1, Cell{Idx: c.idx, Val: c.val})
 				} else {
-					side2 = append(side2, c)
+					side2 = append(side2, Cell{Idx: c.idx, Val: c.val})
 				}
 			}
-			pivotIdx := make([]int, k)
-			rem := key
-			for i := k - 1; i >= 0; i-- {
-				pivotIdx[i] = rem % pivotSizes[i]
-				rem /= pivotSizes[i]
-			}
-			emitCell := func(f1, f2 []int, v float64) {
-				full := make([]int, space.Order())
-				for i, m := range cfg.Pivots {
-					full[m] = pivotIdx[i]
-				}
-				for i, m := range cfg.Free1 {
-					full[m] = f1[i]
-				}
-				for i, m := range cfg.Free2 {
-					full[m] = f2[i]
-				}
-				emit(joinCell{idx: full, val: v})
-			}
-			// Matched pairs.
-			for _, c1 := range side1 {
-				for _, c2 := range side2 {
-					emitCell(c1.idx[k:], c2.idx[k:], (c1.val+c2.val)/2)
-				}
-			}
-			if !zero {
-				return
-			}
-			// Zero-join extensions against unsampled partners.
-			sampled1 := sampledSet(side1, k)
-			sampled2 := sampledSet(side2, k)
-			for _, f2 := range free2All {
-				if sampled2[localKey(f2)] {
-					continue
-				}
-				for _, c1 := range side1 {
-					emitCell(c1.idx[k:], f2, c1.val/2)
-				}
-			}
-			for _, f1 := range free1All {
-				if sampled1[localKey(f1)] {
-					continue
-				}
-				for _, c2 := range side2 {
-					emitCell(f1, c2.idx[k:], c2.val/2)
-				}
-			}
+			spec.JoinGroup(key, side1, side2, free1All, free2All, func(idx []int, v float64) {
+				emit(joinCell{idx: idx, val: v})
+			})
 		},
 		Workers: workers,
 		KeyLess: func(a, b int) bool { return a < b },
 	}
 	out, stats := job.Run(cells)
-	j := tensor.NewSparse(shape)
+	j := tensor.NewSparse(spec.Shape)
 	for _, c := range out {
 		j.Append(c.idx, c.val)
 	}
@@ -179,16 +120,6 @@ func enumerate(shape tensor.Shape, modes []int) [][]int {
 		}
 	}
 	walk(0)
-	return out
-}
-
-// sampledSet returns the set of free coordinates present in one side of a
-// pivot group.
-func sampledSet(side []taggedCell, k int) map[int]bool {
-	out := make(map[int]bool, len(side))
-	for _, c := range side {
-		out[localKey(c.idx[k:])] = true
-	}
 	return out
 }
 

@@ -1,0 +1,38 @@
+package distnet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tucker"
+)
+
+// BenchmarkDistNet measures the full multi-process campaign — process
+// spawn, IPC, store round-trips, and the three phases — against worker
+// count: the paper's Table III phase-time-vs-servers curve with real IPC
+// overhead included (BENCH_8).
+func BenchmarkDistNet(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := tinyPartition(b, 1, 300)
+			ranks := tucker.UniformRanks(5, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := Options{
+					Method: core.SELECT, Ranks: ranks,
+					Workers: workers, Shards: 4,
+					WorkDir: b.TempDir(),
+				}
+				res, err := Decompose(context.Background(), p, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Core == nil {
+					b.Fatal("no core")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+// Package distnet is the multi-process D-M2TD engine: a coordinator and
+// N worker child processes executing the paper's 3-phase distributed
+// decomposition (Algorithm 6) over real process boundaries, with
+// phase-level fault tolerance.
+//
+// The division of labour keeps the network control-plane-only:
+//
+//   - Control plane: a hand-rolled length-prefixed, CRC-checked frame
+//     protocol over localhost TCP (this file) carrying small JSON
+//     messages — hello, task lease, heartbeat, result, shutdown.
+//   - Data plane: sub-tensor shards, factor matrices, and every task
+//     output move as internal/store objects in a shared catalog
+//     directory, inheriting the store's atomic temp+rename+CRC
+//     protocol. A task that finds its output already durable skips
+//     recomputation, so a re-leased or resumed task costs nothing once
+//     its artifact landed.
+//
+// Fault tolerance (DESIGN.md §13): the coordinator leases one task at a
+// time to each worker, tracks heartbeats against a lease deadline, and
+// on worker death, lease expiry, or a corrupt frame quarantines the
+// worker and re-leases only that worker's task to a survivor, with
+// faults.RetryPolicy's bounded attempts and seeded-jitter backoff. The
+// engine degrades gracefully down to a single surviving worker.
+//
+// Determinism contract: shard assignment (pivot key modulo the fixed
+// shard count) and merge order (ascending shard index) are pure
+// functions of the partition and Options.Shards — never of worker
+// identity, scheduling, or timing — so the factors, core, and join
+// tensor are bit-identical regardless of which workers died mid-phase.
+package distnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout: magic "M2TN" (4 bytes) | type (1) | payload length
+// (uint32 LE) | payload | CRC32-IEEE footer (uint32 LE) over
+// type+length+payload. The magic makes cross-protocol accidents fail
+// fast; the CRC makes a torn or corrupted frame a detectable event the
+// coordinator can quarantine on, not silent garbage.
+const frameMagic = "M2TN"
+
+type frameType uint8
+
+const (
+	frameHello frameType = iota + 1
+	frameTask
+	frameResult
+	frameTaskErr
+	frameHeartbeat
+	frameShutdown
+)
+
+// maxFramePayload bounds control messages; bulk data never crosses the
+// socket (it moves through the store), so anything larger is corruption.
+const maxFramePayload = 1 << 20
+
+var errBadFrame = errors.New("distnet: corrupt frame")
+
+// writeFrame writes one frame. The payload is the caller's JSON message.
+func writeFrame(w io.Writer, t frameType, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("distnet: frame payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [9]byte
+	copy(hdr[:4], frameMagic)
+	hdr[4] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:9])
+	crc.Write(payload)
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// readFrame reads and validates one frame. Any structural violation —
+// bad magic, oversized length, unknown type, CRC mismatch — returns
+// errBadFrame; the peer is speaking garbage and must be quarantined.
+func readFrame(r io.Reader) (frameType, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if string(hdr[:4]) != frameMagic {
+		return 0, nil, errBadFrame
+	}
+	n := binary.LittleEndian.Uint32(hdr[5:9])
+	if n > maxFramePayload {
+		return 0, nil, errBadFrame
+	}
+	buf := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("distnet: truncated frame: %w", err)
+	}
+	payload, foot := buf[:n], buf[n:]
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:9])
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(foot) {
+		return 0, nil, errBadFrame
+	}
+	t := frameType(hdr[4])
+	if t < frameHello || t > frameShutdown {
+		return 0, nil, errBadFrame
+	}
+	return t, payload, nil
+}

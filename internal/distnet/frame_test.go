@@ -1,0 +1,83 @@
+package distnet
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte(`{"worker":3}`), bytes.Repeat([]byte("x"), 1<<16)}
+	for ft := frameHello; ft <= frameShutdown; ft++ {
+		for _, p := range payloads {
+			var buf bytes.Buffer
+			if err := writeFrame(&buf, ft, p); err != nil {
+				t.Fatalf("write type %d: %v", ft, err)
+			}
+			gt, gp, err := readFrame(&buf)
+			if err != nil {
+				t.Fatalf("read type %d: %v", ft, err)
+			}
+			if gt != ft || !bytes.Equal(gp, p) {
+				t.Fatalf("roundtrip type %d: got type %d payload %d bytes", ft, gt, len(gp))
+			}
+		}
+	}
+}
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameTask, make([]byte, maxFramePayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	base := func() []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, frameResult, []byte(`{"id":"p2-j0"}`)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	// Flipping any single byte must surface as an error — errBadFrame for
+	// magic/CRC/type damage, a truncation error when the flipped length
+	// promises more bytes than exist — never as a silent misparse.
+	for pos := 0; pos < len(base()); pos++ {
+		raw := base()
+		raw[pos] ^= 0x40
+		if _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("flip at byte %d read successfully", pos)
+		}
+	}
+}
+
+func TestFrameTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameHeartbeat, []byte(`{"worker":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := readFrame(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation to %d bytes read successfully", cut)
+		}
+		if cut > 9 && !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncation to %d bytes: got %v, want truncated-frame error", cut, err)
+		}
+	}
+}
+
+func TestFrameRejectsUnknownType(t *testing.T) {
+	for _, ft := range []frameType{0, frameShutdown + 1, 200} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, ft, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := readFrame(&buf); !errors.Is(err, errBadFrame) {
+			t.Fatalf("type %d: got %v, want errBadFrame", ft, err)
+		}
+	}
+}

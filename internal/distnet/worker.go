@@ -1,0 +1,411 @@
+package distnet
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/faults"
+	"repro/internal/mapreduce"
+	"repro/internal/mat"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// The worker side of the engine. A worker is a whole child process: it
+// dials the coordinator, says hello, and executes one leased task at a
+// time, heartbeating throughout. Every task's output goes through the
+// shared store catalog, so a task whose artifact is already durable
+// (left by this worker's previous life, or by a sibling that finished
+// before being quarantined) is acknowledged as Skipped without
+// recomputation — the resume path that makes kill-and-recover cheap.
+
+// WorkerConfig is a worker process's environment-derived configuration.
+type WorkerConfig struct {
+	Addr string // coordinator address
+	Dir  string // shared store catalog
+	ID   int
+	Beat time.Duration // heartbeat period
+
+	Kill    faults.KillSpec // seeded chaos plan; this worker checks its own doom
+	Metrics bool            // serve per-worker obs endpoints
+	Corrupt bool            // test hook: first result goes out CRC-corrupted
+}
+
+// MaybeWorker turns the current process into a distnet worker when the
+// M2TD_DISTNET_ADDR environment variable is set, and never returns in
+// that case. Binaries that can be spawned by the coordinator's self-exec
+// mode (cmd/m2tdworker, cmd/m2tdbench, the test binaries' TestMain) must
+// call it first thing in main.
+func MaybeWorker() {
+	addr := os.Getenv(envAddr)
+	if addr == "" {
+		return
+	}
+	cfg := WorkerConfig{
+		Addr:    addr,
+		Dir:     os.Getenv(envDir),
+		Beat:    250 * time.Millisecond,
+		Metrics: os.Getenv(envMetrics) != "",
+		Corrupt: os.Getenv(envCorrupt) != "" && os.Getenv(envCorrupt) == os.Getenv(envID),
+	}
+	var err error
+	if cfg.ID, err = strconv.Atoi(os.Getenv(envID)); err != nil {
+		fmt.Fprintf(os.Stderr, "m2td worker: bad %s: %v\n", envID, err)
+		os.Exit(1)
+	}
+	if cfg.Kill, err = faults.ParseKillSpec(os.Getenv(envKill)); err != nil {
+		fmt.Fprintf(os.Stderr, "m2td worker: bad %s: %v\n", envKill, err)
+		os.Exit(1)
+	}
+	if b := os.Getenv(envBeat); b != "" {
+		if d, err := time.ParseDuration(b); err == nil && d > 0 {
+			cfg.Beat = d
+		}
+	}
+	//lint:allow ctxprop -- process entry point: the worker's root context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err = RunWorker(ctx, cfg)
+	stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m2td worker %d: %v\n", cfg.ID, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// sender serialises frame writes between the task loop and the
+// heartbeat goroutine.
+type sender struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (s *sender) send(t frameType, msg any) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeFrame(s.conn, t, payload)
+}
+
+// sendCorrupt writes a result-typed frame whose CRC footer is
+// deliberately wrong — the chaos hook behind Corrupt. The coordinator
+// must detect it and quarantine this worker.
+func (s *sender) sendCorrupt() {
+	payload := []byte(`{"id":"garbage"}`)
+	var hdr [9]byte
+	copy(hdr[:4], frameMagic)
+	hdr[4] = byte(frameResult)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:9])
+	crc.Write(payload)
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32()^0xffffffff)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.conn.Write(hdr[:])
+	_, _ = s.conn.Write(payload)
+	_, _ = s.conn.Write(foot[:])
+}
+
+// workerState caches run-constant artifacts across tasks: the input
+// sub-tensors, the fused factor list, and the zero-join free grids.
+type workerState struct {
+	cfg WorkerConfig
+	st  *store.Store
+
+	subs       map[int]*tensor.Sparse
+	factors    []*mat.Matrix
+	free1      [][]int
+	free2      [][]int
+	gridsReady bool
+
+	executed int // tasks begun, the kill-point ordinal clock
+}
+
+// RunWorker connects to the coordinator and serves tasks until a
+// shutdown frame, connection loss, or ctx cancellation.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	st, err := store.Open(cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("distnet: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	s := &sender{conn: conn}
+	hello := helloMsg{Worker: cfg.ID, PID: os.Getpid()}
+	if cfg.Metrics {
+		srv, err := obs.ServeMetrics("127.0.0.1:0", obs.NewRegistry())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		hello.Metrics = srv.Addr
+	}
+	if err := s.send(frameHello, hello); err != nil {
+		return fmt.Errorf("distnet: hello: %w", err)
+	}
+
+	// Heartbeats flow on their own goroutine so a long compute doesn't
+	// starve the lease.
+	var curTask atomic.Value
+	curTask.Store("")
+	beatsDone := make(chan struct{})
+	defer close(beatsDone)
+	go func() {
+		tick := time.NewTicker(cfg.Beat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-beatsDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				id, _ := curTask.Load().(string)
+				if s.send(frameHeartbeat, heartbeatMsg{Worker: cfg.ID, Task: id}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	w := &workerState{cfg: cfg, st: st, subs: make(map[int]*tensor.Sparse)}
+	for {
+		t, payload, err := readFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // coordinator gone or we were told to stop
+			}
+			return fmt.Errorf("distnet: read: %w", err)
+		}
+		switch t {
+		case frameTask:
+			var task taskMsg
+			if err := json.Unmarshal(payload, &task); err != nil {
+				return fmt.Errorf("distnet: task payload: %w", err)
+			}
+			curTask.Store(task.ID)
+			res, err := w.exec(ctx, task)
+			curTask.Store("")
+			if err != nil {
+				if serr := s.send(frameTaskErr, resultMsg{ID: task.ID, Worker: cfg.ID, Err: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			if cfg.Corrupt {
+				s.sendCorrupt()
+				return nil // a corrupting worker exits after its sabotage
+			}
+			if err := s.send(frameResult, res); err != nil {
+				return err
+			}
+		case frameShutdown:
+			return nil
+		default:
+			return fmt.Errorf("distnet: unexpected frame type %d from coordinator", t)
+		}
+	}
+}
+
+// exec runs one leased task. The chaos clock ticks per task begun: a
+// doomed worker SIGKILLs itself at its seeded kill point, after the
+// compute but before the durable save — the worst moment, guaranteeing
+// the coordinator must re-lease.
+func (w *workerState) exec(ctx context.Context, task taskMsg) (resultMsg, error) {
+	start := time.Now()
+	w.executed++
+	doomed := w.cfg.Kill.Doomed(w.cfg.ID) && w.executed == w.cfg.Kill.KillPoint(w.cfg.ID)
+
+	if w.outputDurable(task) {
+		if doomed {
+			faults.KillSelf()
+		}
+		return resultMsg{ID: task.ID, Worker: w.cfg.ID, Skipped: true, DurNS: time.Since(start).Nanoseconds()}, nil
+	}
+
+	var err error
+	switch task.Kind {
+	case taskFactor:
+		err = w.execFactor(task, doomed)
+	case taskStitch:
+		err = w.execStitch(task, doomed)
+	case taskCore:
+		err = w.execCore(task, doomed)
+	default:
+		err = fmt.Errorf("distnet: unknown task kind %q", task.Kind)
+	}
+	if err != nil {
+		return resultMsg{}, err
+	}
+	if ctx.Err() != nil {
+		return resultMsg{}, ctx.Err()
+	}
+	return resultMsg{ID: task.ID, Worker: w.cfg.ID, DurNS: time.Since(start).Nanoseconds()}, nil
+}
+
+// outputDurable reports whether the task's output object already loads
+// cleanly — the resume check.
+func (w *workerState) outputDurable(task taskMsg) bool {
+	var err error
+	switch task.Kind {
+	case taskFactor:
+		_, err = w.st.LoadMatrices(task.Out)
+	case taskStitch:
+		_, err = w.st.LoadSparse(task.Out)
+	case taskCore:
+		_, err = w.st.LoadDense(task.Out)
+	default:
+		return false
+	}
+	return err == nil
+}
+
+// sub loads (and caches) one input sub-tensor.
+func (w *workerState) sub(kappa int) (*tensor.Sparse, error) {
+	if x, ok := w.subs[kappa]; ok {
+		return x, nil
+	}
+	name := objSub1
+	if kappa == 2 {
+		name = objSub2
+	}
+	x, err := w.st.LoadSparse(name)
+	if err != nil {
+		return nil, fmt.Errorf("distnet: input %s: %w", name, err)
+	}
+	w.subs[kappa] = x
+	return x, nil
+}
+
+// execFactor is Phase 1: one (sub-tensor, mode) pair — the mode's Gram
+// matrix and its leading eigenvectors, saved together (CONCAT fusion
+// needs the Gram).
+func (w *workerState) execFactor(task taskMsg, doomed bool) error {
+	x, err := w.sub(task.Kappa)
+	if err != nil {
+		return err
+	}
+	g := tensor.ModeGram(x, task.Mode)
+	f := mat.LeadingEigenvectors(g, task.Rank)
+	if doomed {
+		faults.KillSelf()
+	}
+	return w.st.SaveMatrices(task.Out, []*mat.Matrix{g, f})
+}
+
+// execStitch is Phase 2 for one shard: both sub-tensors' cells whose
+// pivot key lands in the shard, grouped by pivot key and stitched with
+// the same JoinSpec kernel the in-process engine uses. Shard membership
+// is key % Shards — a pure function of the cell, so every group lives
+// wholly in exactly one shard no matter who computes it.
+func (w *workerState) execStitch(task taskMsg, doomed bool) error {
+	spec := task.Spec.Join
+	if spec.ZeroJoin && !w.gridsReady {
+		w.free1, w.free2 = spec.FreeGrids()
+		w.gridsReady = true
+	}
+
+	type wcell struct {
+		kappa int
+		cell  dist.Cell
+	}
+	type joined struct {
+		idx []int
+		val float64
+	}
+	var cells []wcell
+	for kappa := 1; kappa <= 2; kappa++ {
+		x, err := w.sub(kappa)
+		if err != nil {
+			return err
+		}
+		k := kappa
+		x.Each(func(idx []int, v float64) {
+			if spec.PivotKey(idx)%task.Spec.Shards != task.Shard {
+				return
+			}
+			cells = append(cells, wcell{kappa: k, cell: dist.Cell{Idx: append([]int(nil), idx...), Val: v}})
+		})
+	}
+
+	job := &mapreduce.Job[wcell, int, wcell, joined]{
+		Map: func(c wcell, emit func(int, wcell)) {
+			emit(spec.PivotKey(c.cell.Idx), c)
+		},
+		Reduce: func(key int, group []wcell, emit func(joined)) {
+			var side1, side2 []dist.Cell
+			for _, c := range group {
+				if c.kappa == 1 {
+					side1 = append(side1, c.cell)
+				} else {
+					side2 = append(side2, c.cell)
+				}
+			}
+			dist.SortCells(side1)
+			dist.SortCells(side2)
+			spec.JoinGroup(key, side1, side2, w.free1, w.free2, func(idx []int, v float64) {
+				emit(joined{idx: idx, val: v})
+			})
+		},
+		Workers: 1, // in-process parallelism is the coordinator's job here
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	out, _ := job.Run(cells)
+	j := tensor.NewSparse(spec.Shape)
+	for _, c := range out {
+		j.Append(c.idx, c.val)
+	}
+	if doomed {
+		faults.KillSelf()
+	}
+	return w.st.SaveSparse(task.Out, j)
+}
+
+// execCore is Phase 3 for one shard: project the shard's join cells
+// through the fused factors. The partial cores sum exactly (the core is
+// linear in J's cells); the coordinator does the summing in shard order.
+func (w *workerState) execCore(task taskMsg, doomed bool) error {
+	x, err := w.st.LoadSparse(task.In)
+	if err != nil {
+		return fmt.Errorf("distnet: input %s: %w", task.In, err)
+	}
+	if w.factors == nil {
+		fs, err := w.st.LoadMatrices(objFactors)
+		if err != nil {
+			return fmt.Errorf("distnet: input %s: %w", objFactors, err)
+		}
+		w.factors = fs
+	}
+	partial := tensor.MultiTTMSparse(x, tensor.TransposeAll(w.factors))
+	if doomed {
+		faults.KillSelf()
+	}
+	return w.st.SaveDense(task.Out, partial)
+}

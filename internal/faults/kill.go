@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// KillSpec is the process-level fault plan for chaos testing the
+// distributed runtime: out of Total worker processes, exactly Kills of
+// them SIGKILL themselves mid-task at a seeded injection point. Like
+// every decision in this package, which workers die and when is a pure
+// function of (Seed, Total, Kills) — never of timing or scheduling — so
+// a chaos run is reproducible and the surviving output can be compared
+// bit-for-bit against an unkilled run.
+//
+// The spec travels from the coordinator to its child processes as a
+// string (String / ParseKillSpec) in an environment variable; each
+// worker then answers two questions locally: Doomed(id) — am I one of
+// the Kills victims? — and KillPoint(id) — during which of my task
+// executions (1-based) do I die?
+type KillSpec struct {
+	// Seed drives victim selection and kill points.
+	Seed int64
+	// Total is the worker-process count of the run.
+	Total int
+	// Kills is how many of the Total workers die (0 disables killing).
+	Kills int
+}
+
+// Enabled reports whether the spec kills anyone.
+func (k KillSpec) Enabled() bool { return k.Kills > 0 && k.Total > 0 }
+
+// rank is the worker's position in the seeded kill lottery: workers are
+// ordered by mix(seed ^ id) with the id as a tiebreaker, and the lowest
+// Kills ranks die.
+func (k KillSpec) rank(worker int) int {
+	self := mix(uint64(k.Seed) ^ 0x6b696c6c00000000 ^ uint64(worker)) // "kill"
+	r := 0
+	for w := 0; w < k.Total; w++ {
+		if w == worker {
+			continue
+		}
+		h := mix(uint64(k.Seed) ^ 0x6b696c6c00000000 ^ uint64(w))
+		if h < self || (h == self && w < worker) {
+			r++
+		}
+	}
+	return r
+}
+
+// Doomed reports whether the given worker id (0-based, < Total) is one
+// of the Kills victims.
+func (k KillSpec) Doomed(worker int) bool {
+	if !k.Enabled() || worker < 0 || worker >= k.Total {
+		return false
+	}
+	return k.rank(worker) < k.Kills
+}
+
+// KillPoint returns the 1-based task-execution ordinal at which a doomed
+// worker kills itself: 1 or 2, so the death always lands inside an early
+// phase while other task leases are still in flight. Zero for workers
+// that are not doomed.
+func (k KillSpec) KillPoint(worker int) int {
+	if !k.Doomed(worker) {
+		return 0
+	}
+	return 1 + int(mix(uint64(k.Seed)^0x706f696e74000000^uint64(worker))%2) // "point"
+}
+
+// String encodes the spec for transport (ParseKillSpec inverts it).
+func (k KillSpec) String() string {
+	return fmt.Sprintf("seed=%d,total=%d,kills=%d", k.Seed, k.Total, k.Kills)
+}
+
+// ParseKillSpec parses the String encoding. An empty string is the zero
+// (disabled) spec.
+func ParseKillSpec(s string) (KillSpec, error) {
+	var k KillSpec
+	if s == "" {
+		return k, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return KillSpec{}, fmt.Errorf("faults: malformed kill spec %q", s)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return KillSpec{}, fmt.Errorf("faults: malformed kill spec %q: %w", s, err)
+		}
+		switch key {
+		case "seed":
+			k.Seed = n
+		case "total":
+			k.Total = int(n)
+		case "kills":
+			k.Kills = int(n)
+		default:
+			return KillSpec{}, fmt.Errorf("faults: unknown kill spec field %q", key)
+		}
+	}
+	return k, nil
+}
+
+// KillSelf delivers an uncatchable SIGKILL to the current process — the
+// chaos injection primitive. It never returns: no deferred cleanup, no
+// checkpoint flush, exactly like a machine loss. Signal delivery is
+// asynchronous, so it parks the goroutine until the kill lands.
+func KillSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = p.Kill()
+	}
+	select {}
+}

@@ -1,0 +1,87 @@
+package faults
+
+import "testing"
+
+func TestKillSpecDisabled(t *testing.T) {
+	for _, k := range []KillSpec{{}, {Seed: 7, Total: 4}, {Seed: 7, Kills: 1}} {
+		if k.Enabled() {
+			t.Fatalf("spec %+v should be disabled", k)
+		}
+		for w := -1; w < 5; w++ {
+			if k.Doomed(w) {
+				t.Fatalf("spec %+v dooms worker %d", k, w)
+			}
+			if k.KillPoint(w) != 0 {
+				t.Fatalf("spec %+v has kill point for worker %d", k, w)
+			}
+		}
+	}
+}
+
+func TestKillSpecDoomsExactlyK(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		for total := 1; total <= 6; total++ {
+			for kills := 0; kills <= total; kills++ {
+				k := KillSpec{Seed: seed, Total: total, Kills: kills}
+				doomed := 0
+				for w := 0; w < total; w++ {
+					if k.Doomed(w) {
+						doomed++
+						if p := k.KillPoint(w); p < 1 || p > 2 {
+							t.Fatalf("%v worker %d: kill point %d outside {1,2}", k, w, p)
+						}
+					} else if k.KillPoint(w) != 0 {
+						t.Fatalf("%v worker %d: survivor has kill point", k, w)
+					}
+				}
+				if doomed != kills {
+					t.Fatalf("%v: %d workers doomed, want %d", k, doomed, kills)
+				}
+			}
+		}
+	}
+}
+
+func TestKillSpecVictimsNestAsKGrows(t *testing.T) {
+	// Raising Kills by one adds one victim without changing who the
+	// existing victims are: the lottery ranking is fixed by the seed.
+	for seed := int64(1); seed <= 10; seed++ {
+		const total = 5
+		prev := map[int]bool{}
+		for kills := 1; kills <= total; kills++ {
+			k := KillSpec{Seed: seed, Total: total, Kills: kills}
+			cur := map[int]bool{}
+			for w := 0; w < total; w++ {
+				if k.Doomed(w) {
+					cur[w] = true
+				}
+			}
+			for w := range prev {
+				if !cur[w] {
+					t.Fatalf("seed %d: worker %d doomed at kills=%d but spared at kills=%d", seed, w, kills-1, kills)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestKillSpecRoundtrip(t *testing.T) {
+	for _, k := range []KillSpec{{}, {Seed: 42, Total: 3, Kills: 2}, {Seed: -9, Total: 16, Kills: 1}} {
+		got, err := ParseKillSpec(k.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("roundtrip %q: got %+v want %+v", k.String(), got, k)
+		}
+	}
+	if got, err := ParseKillSpec(""); err != nil || got != (KillSpec{}) {
+		t.Fatalf("empty spec: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"seed", "seed=x", "bogus=1"} {
+		if _, err := ParseKillSpec(bad); err == nil {
+			t.Fatalf("malformed spec %q accepted", bad)
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 // fault-tolerant runtime (DESIGN.md §6): cancellation and stage
 // deadlines only work if the context actually reaches the kernels.
 //
-// Two rules:
+// Three rules:
 //
 //  1. Inside any function that receives a context.Context, calling a
 //     function or method F when a sibling FCtx(ctx, ...) variant exists
@@ -23,10 +23,17 @@ import (
 //     points (cmd/, examples/) and tests. The documented legacy wrappers
 //     (Run, Baseline, tucker.HOOI, ...) are the deliberate exceptions and
 //     carry //lint:allow ctxprop annotations.
+//
+//  3. A function or method that takes a net connection (any net.*Conn
+//     type) must also take a context.Context: connection-handling loops
+//     are exactly the code that must die when the coordinator's context
+//     is cancelled (the internal/distnet RPC server/handler pattern), and
+//     a conn parameter without a ctx parameter cannot be cancelled.
 var CtxProp = &Analyzer{
 	Name: "ctxprop",
 	Doc: "require ctx-taking functions to call Ctx variants of their callees, " +
-		"and forbid context.Background/TODO in library code",
+		"forbid context.Background/TODO in library code, " +
+		"and require conn-handling functions to accept a context",
 	Run: runCtxProp,
 }
 
@@ -35,6 +42,23 @@ func runCtxProp(p *Pass) {
 		return
 	}
 	for _, file := range p.Pkg.Files {
+		// Rule 3 is a per-declaration property, checked off the call walk.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			conn := ""
+			for _, field := range fd.Type.Params.List {
+				if n := netConnTypeOf(p.TypeOf(field.Type)); n != "" {
+					conn = n
+					break
+				}
+			}
+			if conn != "" && !funcTakesContext(p, fd) {
+				p.Reportf(fd.Pos(), "%s handles a %s without a context.Context parameter; connection loops must be cancellable — thread the coordinator's ctx through", fd.Name.Name, conn)
+			}
+		}
 		walkStack(file, func(n ast.Node, stack []ast.Node) {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -72,6 +96,25 @@ func runCtxProp(p *Pass) {
 			p.Reportf(call.Pos(), "%s drops the caller's context; call %s with the function's ctx instead", fn.Name(), variant.Name())
 		})
 	}
+}
+
+// netConnTypeOf returns the display name ("net.Conn", "net.TCPConn", ...)
+// when t is — or points to — one of package net's connection types, and ""
+// otherwise. The *Conn suffix convention covers Conn itself, the concrete
+// TCPConn/UDPConn/UnixConn/IPConn, and PacketConn.
+func netConnTypeOf(t types.Type) string {
+	n := namedOf(t)
+	if n == nil {
+		return ""
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return ""
+	}
+	if !strings.HasSuffix(obj.Name(), "Conn") {
+		return ""
+	}
+	return "net." + obj.Name()
 }
 
 // funcTakesContext reports whether the declared function has a parameter

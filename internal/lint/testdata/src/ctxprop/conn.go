@@ -1,0 +1,50 @@
+// Golden cases for rule 3: functions handling net connections must take
+// a context so connection loops die when the coordinator cancels.
+package ctxprop
+
+import (
+	"context"
+	"net"
+)
+
+// positive: a net.Conn parameter without a ctx cannot be cancelled.
+
+func badConnHandler(conn net.Conn) { // want `\[ctxprop\] badConnHandler handles a net\.Conn without a context\.Context parameter`
+	_ = conn
+}
+
+// positive: concrete conn types (and pointers to them) count too.
+
+func badTCPHandler(c *net.TCPConn, id int) { // want `\[ctxprop\] badTCPHandler handles a net\.TCPConn without a context\.Context parameter`
+	_, _ = c, id
+}
+
+// positive: methods are held to the same rule as functions.
+
+type server struct{}
+
+func (server) serve(conn net.Conn) { // want `\[ctxprop\] serve handles a net\.Conn without a context\.Context parameter`
+	_ = conn
+}
+
+// negative: conn alongside a ctx is the sanctioned handler shape.
+
+func goodConnHandler(ctx context.Context, conn net.Conn) {
+	_, _ = ctx, conn
+}
+
+func (server) serveCtx(ctx context.Context, conn net.Conn) {
+	_, _ = ctx, conn
+}
+
+// negative: non-conn net types don't trigger the rule.
+
+func goodListener(l net.Listener) {
+	_ = l
+}
+
+// suppression: the escape hatch applies at the declaration line.
+
+func legacyConnHandler(conn net.Conn) { //lint:allow ctxprop -- golden suppression case: pre-runtime legacy handler
+	_ = conn
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -22,8 +23,11 @@ type Server struct {
 	// Addr is the bound listen address, e.g. "127.0.0.1:43017".
 	Addr string
 
-	lis net.Listener
-	srv *http.Server
+	lis       net.Listener
+	srv       *http.Server
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // ServeMetrics starts serving reg on addr in a background goroutine and
@@ -58,18 +62,27 @@ func ServeMetrics(addr string, reg *Registry) (*Server, error) {
 		fmt.Fprint(w, "m2td observability endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n")
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	s := &Server{Addr: lis.Addr().String(), lis: lis, srv: srv}
+	s := &Server{Addr: lis.Addr().String(), lis: lis, srv: srv, done: make(chan struct{})}
 	go func() {
 		// ErrServerClosed after Close is the expected shutdown path.
 		_ = srv.Serve(lis)
+		close(s.done)
 	}()
 	return s, nil
 }
 
-// Close stops the server and releases the listener.
+// Close stops the server, releases the listener, and joins the serve
+// goroutine, so a closed Server leaves nothing running. It is
+// idempotent: every call after the first returns the first call's
+// result — worker processes that close on both the shutdown path and a
+// deferred cleanup don't race or double-close the listener.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.closeOnce.Do(func() {
+		s.closeErr = s.srv.Close()
+		<-s.done
+	})
+	return s.closeErr
 }

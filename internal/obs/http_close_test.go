@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestServeMetricsMultiProcessPorts exercises the multi-worker pattern:
+// every worker asks for ":0" and must get its own distinct bound port.
+func TestServeMetricsMultiProcessPorts(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		srv, err := ServeMetrics("127.0.0.1:0", NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		if srv.Addr == "" {
+			t.Fatal("no bound address reported")
+		}
+		if _, _, err := net.SplitHostPort(srv.Addr); err != nil {
+			t.Fatalf("bound address %q unparseable: %v", srv.Addr, err)
+		}
+		if seen[srv.Addr] {
+			t.Fatalf("address %s handed out twice", srv.Addr)
+		}
+		seen[srv.Addr] = true
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := srv.Close()
+	for i := 0; i < 3; i++ {
+		if got := srv.Close(); got != first {
+			t.Fatalf("Close call %d returned %v, first returned %v", i+2, got, first)
+		}
+	}
+	// The listener is really gone: the port is rebindable.
+	lis, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		t.Fatalf("port still held after Close: %v", err)
+	}
+	lis.Close()
+
+	var nilServer *Server
+	if err := nilServer.Close(); err != nil {
+		t.Fatalf("nil server Close: %v", err)
+	}
+}
+
+// TestServerCloseNoLeak asserts Close joins the serve goroutine: a
+// create/close churn must not grow the goroutine count.
+func TestServerCloseNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		srv, err := ServeMetrics("127.0.0.1:0", NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow unrelated runtime goroutines to settle before comparing.
+	var after int
+	for i := 0; i < 50; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d across 20 serve/close cycles", before, after)
+}

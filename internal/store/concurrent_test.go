@@ -1,0 +1,181 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func TestMatricesRoundtrip(t *testing.T) {
+	s := testStore(t)
+	a := mat.New(3, 2)
+	for i := range a.Data {
+		a.Data[i] = float64(i) * 1.5
+	}
+	b := mat.New(1, 4)
+	b.Data = []float64{-1, 0, 2.25, 9}
+	if err := s.SaveMatrices("fac", []*mat.Matrix{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadMatrices("fac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d matrices, want 2", len(got))
+	}
+	for i, want := range []*mat.Matrix{a, b} {
+		if !got[i].Equal(want, 0) {
+			t.Fatalf("matrix %d differs after roundtrip", i)
+		}
+	}
+	if _, err := s.LoadMatrices("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object: %v, want ErrNotFound", err)
+	}
+	if _, err := s.LoadSparse("fac"); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestMatricesCorruptionDetected(t *testing.T) {
+	s := testStore(t)
+	m := mat.New(4, 4)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	if err := s.SaveMatrices("fac", []*mat.Matrix{m}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "fac.m2td")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadMatrices("fac"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted object: %v, want ErrCorrupt", err)
+	}
+}
+
+// deadPID returns a pid that belonged to a just-exited process.
+func deadPID(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot run helper process: %v", err)
+	}
+	pid := cmd.Process.Pid
+	if pidAlive(pid) {
+		t.Fatalf("pid %d of exited process reported alive", pid)
+	}
+	return pid
+}
+
+func TestOpenSweepSparesLiveWritersTemps(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(dir, fmt.Sprintf(".tmp-%d-123456", os.Getpid()))
+	init := filepath.Join(dir, ".tmp-1-654321") // pid 1 exists on every host
+	dead := filepath.Join(dir, fmt.Sprintf(".tmp-%d-777777", deadPID(t)))
+	legacy := filepath.Join(dir, ".tmp-garbage")
+	for _, p := range []string{live, init, dead, legacy} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{live, init} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("live writer's temp %s swept: %v", filepath.Base(p), err)
+		}
+	}
+	for _, p := range []string{dead, legacy} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s not swept (err %v)", filepath.Base(p), err)
+		}
+	}
+}
+
+// TestConcurrentOpenDuringWrites drives the exact contention the
+// distributed runtime creates: several "workers" (goroutines here; the
+// pid-liveness rule makes the cross-process case strictly easier) write
+// objects through the atomic temp+rename protocol while others
+// repeatedly Open the same catalog, triggering the orphan sweep
+// mid-write. No write may fail, no completed object may be lost or
+// corrupted. Run under -race in CI.
+func TestConcurrentOpenDuringWrites(t *testing.T) {
+	dir := t.TempDir()
+	const writers, objects, openers = 4, 8, 3
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+openers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := Open(dir)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < objects; i++ {
+				x := tensor.NewSparse(tensor.Shape{8, 8})
+				for e := 0; e < 16; e++ {
+					x.Append([]int{(w + e) % 8, (i + e) % 8}, float64(w*1000+i*100+e))
+				}
+				if err := s.SaveSparse(fmt.Sprintf("w%d-obj%d", w, i), x); err != nil {
+					errc <- fmt.Errorf("writer %d obj %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for o := 0; o < openers; o++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := Open(dir); err != nil {
+					errc <- fmt.Errorf("concurrent open: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != writers*objects {
+		t.Fatalf("%d objects survived, want %d", len(names), writers*objects)
+	}
+	for _, name := range names {
+		if _, err := s.LoadSparse(name); err != nil {
+			t.Fatalf("object %s unreadable after concurrent writes: %v", name, err)
+		}
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/mat"
 	"repro/internal/tensor"
@@ -37,10 +39,11 @@ const (
 
 // Kinds of stored objects.
 const (
-	kindSparse = uint8(1)
-	kindDense  = uint8(2)
-	kindTucker = uint8(3)
-	kindSimSet = uint8(4)
+	kindSparse   = uint8(1)
+	kindDense    = uint8(2)
+	kindTucker   = uint8(3)
+	kindSimSet   = uint8(4)
+	kindMatrices = uint8(5)
 )
 
 // ErrCorrupt is returned when a file fails checksum or structural
@@ -60,6 +63,14 @@ type Store struct {
 // temp+rename protocol means a partially written `.tmp-*` file is the
 // only possible debris — named objects are always complete) are swept on
 // open, so a catalog that survived a kill -9 comes back clean.
+//
+// Catalogs are shared between live processes (the distributed runtime's
+// coordinator and every worker open the same directory), so the sweep is
+// pid-aware: temp files are named `.tmp-<pid>-*`, and Open removes one
+// only when its writing process is no longer alive. A worker opening the
+// catalog mid-campaign therefore never deletes another worker's
+// in-flight write; only genuine debris from killed processes is
+// collected.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -69,12 +80,44 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") && sweepable(e.Name()) {
 			// Best-effort: a concurrent writer may have renamed it away.
 			_ = os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 	return &Store{dir: dir}, nil
+}
+
+// sweepable reports whether an orphan-sweep may remove the temp file:
+// yes when its embedded writer pid is dead, or when the name predates
+// the pid-tagged scheme entirely (nothing live can be writing it through
+// this package).
+func sweepable(name string) bool {
+	rest := strings.TrimPrefix(name, ".tmp-")
+	pidStr, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return true // legacy `.tmp-<random>` name: no owner to respect
+	}
+	pid, err := strconv.Atoi(pidStr)
+	if err != nil || pid <= 0 {
+		return true
+	}
+	return !pidAlive(pid)
+}
+
+// pidAlive reports whether a process with the given pid exists, via the
+// POSIX null-signal probe. EPERM means the process exists but belongs to
+// another user — still alive for sweep purposes.
+func pidAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	if err == nil {
+		return true
+	}
+	return errors.Is(err, syscall.EPERM)
 }
 
 // Dir returns the store's root directory.
@@ -164,7 +207,7 @@ func (s *Store) writeFile(name string, kind uint8, fn func(w io.Writer) error) e
 	if err := validateName(name); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	tmp, err := os.CreateTemp(s.dir, fmt.Sprintf(".tmp-%d-*", os.Getpid()))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -506,6 +549,64 @@ func (s *Store) LoadSimSet(name string) (string, map[int][]float64, error) {
 		return "", nil, err
 	}
 	return fingerprint, sims, nil
+}
+
+// SaveMatrices stores an ordered list of dense matrices — the artifact
+// unit the distributed runtime uses for factor matrices and Gram
+// matrices. Like every object it inherits the atomic temp+rename+CRC
+// protocol, so a reader either sees the complete list or ErrNotFound.
+func (s *Store) SaveMatrices(name string, ms []*mat.Matrix) error {
+	return s.writeFile(name, kindMatrices, func(w io.Writer) error {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(ms))); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, m := range ms {
+			if err := binary.Write(w, binary.LittleEndian, uint64(m.Rows)); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint64(m.Cols)); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			if err := binary.Write(w, binary.LittleEndian, m.Data); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// LoadMatrices reads a matrix list saved with SaveMatrices.
+func (s *Store) LoadMatrices(name string) ([]*mat.Matrix, error) {
+	var out []*mat.Matrix
+	err := s.readFile(name, kindMatrices, func(r io.Reader) error {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil || n > 256 {
+			return ErrCorrupt
+		}
+		out = make([]*mat.Matrix, n)
+		for i := range out {
+			var rows, cols uint64
+			if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+				return ErrCorrupt
+			}
+			if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+				return ErrCorrupt
+			}
+			if rows > 1<<24 || cols > 1<<24 {
+				return ErrCorrupt
+			}
+			m := mat.New(int(rows), int(cols))
+			if err := binary.Read(r, binary.LittleEndian, m.Data); err != nil {
+				return ErrCorrupt
+			}
+			out[i] = m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SaveDecomposition stores a Tucker decomposition (core plus factors).

@@ -35,11 +35,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/distnet"
 	"repro/internal/dynsys"
 	"repro/internal/ensemble"
 	"repro/internal/eval"
@@ -83,6 +85,14 @@ type Config struct {
 	// Workers > 0 runs the distributed 3-phase D-M2TD with that many
 	// workers instead of the serial algorithm.
 	Workers int
+	// Distributed, when non-nil, runs D-M2TD on real worker PROCESSES —
+	// the internal/distnet coordinator/worker engine over localhost TCP
+	// and a shared artifact catalog — instead of in-process goroutines.
+	// Mutually exclusive with Workers, Factored, and Sketch. The result
+	// is bit-identical for any worker count (and under worker kills) at
+	// a fixed Distributed.Shards; it matches the serial decomposition up
+	// to floating-point summation order.
+	Distributed *DistributedConfig
 	// Parallel is the shared-memory worker-pool size for the decomposition
 	// hot path (sparse TTM, Gram accumulation, the HOSVD mode loop, and
 	// the concurrent X₁/X₂ sub-decompositions). 0 uses all CPUs
@@ -167,6 +177,47 @@ type SketchConfig struct {
 	Seed int64
 }
 
+// DistributedConfig configures the multi-process D-M2TD engine
+// (internal/distnet): a coordinator in this process plus Workers child
+// processes connected over localhost TCP, moving data through an
+// internal/store catalog. Worker processes are spawned by re-executing
+// the current binary, which must call MaybeDistWorker first thing in
+// main (cmd/m2tdworker and cmd/m2tdbench do).
+type DistributedConfig struct {
+	// Workers is the worker-process count (default 1). The campaign
+	// survives losing up to Workers-1 of them.
+	Workers int
+	// Shards fixes the phase-2/3 task count — the determinism unit: at a
+	// fixed Shards the output is bit-identical for any Workers value and
+	// any worker deaths. Default: Workers.
+	Shards int
+	// Addr is the coordinator listen address (default "127.0.0.1:0").
+	Addr string
+	// WorkDir is the shared artifact catalog. Empty uses a fresh
+	// temporary directory, removed after the run; set it to a stable path
+	// to enable resume-from-durable-artifacts across runs.
+	WorkDir string
+	// KillWorkers > 0 SIGKILLs that many workers mid-task at seeded
+	// injection points (the faults.KillSpec chaos lottery) — the
+	// kill-and-recover drill. Must stay below Workers.
+	KillWorkers int
+	// KillSeed seeds the kill lottery (0 defaults to Config.Seed).
+	KillSeed int64
+}
+
+// DistStats is the distributed engine's accounting on the Report.
+type DistStats struct {
+	// Workers is the spawned worker-process count; WorkersLost counts
+	// the ones quarantined (killed, hung, or corrupt) during the run.
+	Workers, WorkersLost int
+	// Requeues counts task re-leases; TasksSkipped counts tasks
+	// satisfied by an already-durable artifact.
+	Requeues, TasksSkipped int
+	// Phase1/2/3 are the engine's per-phase wall-clock times (Table
+	// III's split, with real IPC overhead).
+	Phase1, Phase2, Phase3 time.Duration
+}
+
 // Report is the outcome of a pipeline run.
 type Report struct {
 	// Accuracy is the paper's metric 1 − ‖X̃−Y‖F/‖Y‖F against the full
@@ -206,6 +257,9 @@ type Report struct {
 	// enabled (nil otherwise). Baseline runs fill only the Join stats —
 	// there is one tensor to sketch.
 	SketchStats *core.SketchReport
+	// Distributed carries the multi-process engine's accounting when
+	// Config.Distributed was set (nil otherwise).
+	Distributed *DistStats
 	// Partition is the PF-partitioned pair the decomposition consumed
 	// (nil for Baseline runs).
 	Partition *partition.Result
@@ -281,6 +335,24 @@ func (c Config) resolve() (resolved, error) {
 			return resolved{}, fmt.Errorf("m2td: Sketch and Factored are mutually exclusive (the sketch breaks the P×E product structure)")
 		}
 	}
+	if d := cfg.Distributed; d != nil {
+		if cfg.Workers > 0 {
+			return resolved{}, fmt.Errorf("m2td: Distributed and Workers are mutually exclusive (pick one D-M2TD engine)")
+		}
+		if cfg.Factored {
+			return resolved{}, fmt.Errorf("m2td: Distributed and Factored are mutually exclusive (D-M2TD materialises the join by design)")
+		}
+		if cfg.Sketch.KeepFrac > 0 {
+			return resolved{}, fmt.Errorf("m2td: Distributed and Sketch are mutually exclusive (D-M2TD shuffles the exact cell sets)")
+		}
+		workers := d.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		if d.KillWorkers < 0 || d.KillWorkers >= workers {
+			return resolved{}, fmt.Errorf("m2td: Distributed.KillWorkers %d must be in [0, Workers)", d.KillWorkers)
+		}
+	}
 	space, injector, err := cfg.space()
 	if err != nil {
 		return resolved{}, err
@@ -346,6 +418,13 @@ func Run(cfg Config) (*Report, error) {
 	//lint:allow ctxprop -- documented legacy wrapper: the non-ctx facade is the root of its own context tree
 	return RunCtx(context.Background(), cfg)
 }
+
+// MaybeDistWorker turns the current process into a distributed D-M2TD
+// worker when the M2TD_DISTNET_ADDR environment is present, and never
+// returns in that case. Any binary that may run with Config.Distributed
+// set must call it first thing in main: the coordinator spawns workers
+// by re-executing its own binary.
+func MaybeDistWorker() { distnet.MaybeWorker() }
 
 // RunCtx executes the full M2TD pipeline with cooperative cancellation:
 // when ctx is cancelled (or a configured stage deadline expires) the
@@ -437,9 +516,50 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	dctx, cancelDecomp := stageCtx(ctx, cfg.DecompTimeout)
 	defer cancelDecomp()
 	var res *core.Result
+	var distStats *DistStats
 	switch {
 	case cfg.Workers > 0 && cfg.Factored:
 		return nil, fmt.Errorf("m2td: Factored and Workers are mutually exclusive")
+	case cfg.Distributed != nil:
+		dc := cfg.Distributed
+		workDir := dc.WorkDir
+		if workDir == "" {
+			tmp, err := os.MkdirTemp("", "m2td-distnet-*")
+			if err != nil {
+				return nil, fmt.Errorf("m2td: distributed work dir: %w", err)
+			}
+			defer os.RemoveAll(tmp)
+			workDir = tmp
+		}
+		killSeed := dc.KillSeed
+		if killSeed == 0 {
+			killSeed = cfg.Seed
+		}
+		d, err := distnet.Decompose(dctx, part, distnet.Options{
+			Method:   method,
+			Ranks:    ranks,
+			ZeroJoin: cfg.ZeroJoin,
+			Workers:  dc.Workers,
+			Shards:   dc.Shards,
+			Addr:     dc.Addr,
+			WorkDir:  workDir,
+			Kill:     faults.KillSpec{Seed: killSeed, Kills: dc.KillWorkers},
+			Retry:    cfg.Retry,
+			Span:     dspan,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
+		}
+		res = d.Result
+		distStats = &DistStats{
+			Workers:      len(d.Workers),
+			WorkersLost:  d.Phase1.WorkersLost + d.Phase2.WorkersLost + d.Phase3.WorkersLost,
+			Requeues:     d.Phase1.Requeues + d.Phase2.Requeues + d.Phase3.Requeues,
+			TasksSkipped: d.Phase1.Skipped + d.Phase2.Skipped + d.Phase3.Skipped,
+			Phase1:       d.Phase1.Duration,
+			Phase2:       d.Phase2.Duration,
+			Phase3:       d.Phase3.Duration,
+		}
 	case cfg.Workers > 0:
 		if err := dctx.Err(); err != nil {
 			return nil, fmt.Errorf("m2td: decomposition stage: %w", err)
@@ -486,6 +606,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		EffectiveDensity1: part.Sub1.Tensor.Density(),
 		EffectiveDensity2: part.Sub2.Tensor.Density(),
 		SketchStats:       res.Sketch,
+		Distributed:       distStats,
 		Partition:         part,
 	}
 	if injector != nil {
