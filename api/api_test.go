@@ -1,0 +1,138 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	in := &Error{Code: CodeQuotaExceeded, Message: "tenant a at quota"}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Error
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != CodeQuotaExceeded || out.Message != in.Message {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if out.Error() == "" {
+		t.Fatal("empty Error() text")
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for state, want := range map[JobState]bool{
+		StateQueued:  false,
+		StateRunning: false,
+		StateDone:    true,
+		StateFailed:  true,
+	} {
+		if state.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", state, state.Terminal(), want)
+		}
+	}
+}
+
+// TestClientTypedError verifies non-2xx responses surface as *Error with
+// the machine-readable code intact.
+func TestClientTypedError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(Error{Code: CodeQuotaExceeded, Message: "no"})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	_, err := c.Submit(context.Background(), SubmitRequest{})
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v (%T) is not *api.Error", err, err)
+	}
+	if apiErr.Code != CodeQuotaExceeded {
+		t.Fatalf("code = %s", apiErr.Code)
+	}
+}
+
+// TestClientNonEnvelopeError verifies a non-JSON error body still comes
+// back as a typed *Error (internal) rather than a decode failure.
+func TestClientNonEnvelopeError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text panic page", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).Stats(context.Background())
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v (%T) is not *api.Error", err, err)
+	}
+	if apiErr.Code != CodeInternal {
+		t.Fatalf("code = %s", apiErr.Code)
+	}
+}
+
+// TestClientRoutesAndHeaders verifies the client hits the versioned paths
+// with the tenant header and decodes typed responses.
+func TestClientRoutesAndHeaders(t *testing.T) {
+	var gotPath, gotTenant string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.Method + " " + r.URL.Path
+		gotTenant = r.Header.Get(TenantHeader)
+		switch {
+		case r.URL.Path == PathPrefix+"campaigns":
+			json.NewEncoder(w).Encode(SubmitResponse{JobID: "j1", State: StateQueued, Fingerprint: "fp"})
+		case r.URL.Path == PathPrefix+"jobs/j1/result":
+			json.NewEncoder(w).Encode(ResultResponse{Job: JobStatus{ID: "j1", State: StateDone}})
+		case r.URL.Path == PathPrefix+"jobs/j1/predict":
+			var req PredictRequest
+			json.NewDecoder(r.Body).Decode(&req)
+			json.NewEncoder(w).Encode(PredictResponse{JobID: "j1", Values: req.Params})
+		default:
+			json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateDone})
+		}
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL + "/") // trailing slash must not double up
+	c.Tenant = "team-a"
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, SubmitRequest{Campaign: CampaignSpec{System: "lorenz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.JobID != "j1" || gotPath != "POST "+PathPrefix+"campaigns" || gotTenant != "team-a" {
+		t.Fatalf("submit: %+v path=%q tenant=%q", sub, gotPath, gotTenant)
+	}
+
+	if _, err := c.Status(ctx, "j1", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "GET "+PathPrefix+"jobs/j1" {
+		t.Fatalf("status path = %q", gotPath)
+	}
+
+	res, err := c.Result(ctx, "j1")
+	if err != nil || res.Job.ID != "j1" {
+		t.Fatalf("result: %+v, %v", res, err)
+	}
+
+	pred, err := c.Predict(ctx, "j1", []float64{1, 2})
+	if err != nil || len(pred.Values) != 2 {
+		t.Fatalf("predict: %+v, %v", pred, err)
+	}
+
+	st, err := c.Wait(ctx, "j1", time.Second)
+	if err != nil || !st.State.Terminal() {
+		t.Fatalf("wait: %+v, %v", st, err)
+	}
+}

@@ -1,0 +1,180 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a typed client for the campaign server. The zero value is not
+// usable; construct with NewClient. All methods are safe for concurrent
+// use (the underlying *http.Client is).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". The
+	// client appends the versioned paths itself.
+	BaseURL string
+	// Tenant, when non-empty, is sent as the TenantHeader on every
+	// request (a SubmitRequest.Tenant field still wins on submit).
+	Tenant string
+	// HTTPClient is the transport; nil uses a client with a 5-minute
+	// overall timeout (long-poll waits stay under it).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// do issues one request and decodes the response into out (ignored when
+// nil). Non-2xx responses are decoded as the typed error envelope and
+// returned as *Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("api: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var envelope Error
+		if jsonErr := json.Unmarshal(data, &envelope); jsonErr == nil && envelope.Code != "" {
+			return &envelope
+		}
+		return &Error{Code: CodeInternal, Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("api: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit submits a campaign.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*SubmitResponse, error) {
+	var out SubmitResponse
+	if err := c.do(ctx, http.MethodPost, PathPrefix+"campaigns", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status fetches a job's status. A wait > 0 long-polls: the server holds
+// the request until the job reaches a terminal state or the wait elapses,
+// whichever is first.
+func (c *Client) Status(ctx context.Context, jobID string, wait time.Duration) (*JobStatus, error) {
+	path := PathPrefix + "jobs/" + url.PathEscape(jobID)
+	if wait > 0 {
+		path += "?wait=" + wait.String()
+	}
+	var out JobStatus
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists the server's jobs, most recent first.
+func (c *Client) Jobs(ctx context.Context) (*JobsResponse, error) {
+	var out JobsResponse
+	if err := c.do(ctx, http.MethodGet, PathPrefix+"jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Result fetches a finished job's decomposition summary. A job that is
+// not yet terminal returns *Error with CodeNotDone.
+func (c *Client) Result(ctx context.Context, jobID string) (*ResultResponse, error) {
+	var out ResultResponse
+	if err := c.do(ctx, http.MethodGet, PathPrefix+"jobs/"+url.PathEscape(jobID)+"/result", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Predict evaluates a finished campaign's decomposition at physical
+// parameter values.
+func (c *Client) Predict(ctx context.Context, jobID string, params []float64) (*PredictResponse, error) {
+	var out PredictResponse
+	if err := c.do(ctx, http.MethodPost, PathPrefix+"jobs/"+url.PathEscape(jobID)+"/predict", PredictRequest{Params: params}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the server's serving counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, PathPrefix+"stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes the health endpoint.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, PathPrefix+"healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait long-polls a job until it reaches a terminal state or ctx is
+// cancelled, and returns the terminal status. Waits are issued in
+// poll-sized slices (default 30s) so intermediaries with shorter request
+// timeouts don't kill the poll.
+func (c *Client) Wait(ctx context.Context, jobID string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 30 * time.Second
+	}
+	for {
+		st, err := c.Status(ctx, jobID, poll)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, fmt.Errorf("api: waiting for job %s: %w", jobID, err)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Command loadgen hammers a campaign server with concurrent typed-API
+// clients and reports latency percentiles plus serving-efficiency rates
+// (coalescing, cache hits, recompute fraction).
+//
+// With -addr it targets a running `tensorstore serve`; without it, it
+// self-hosts a server over a temporary store so one invocation measures
+// the full serving stack. The workload cycles -requests submissions
+// through -distinct campaign configs across -tenants tenants, so most
+// submissions are duplicates — exactly the ensemble-reuse pattern the
+// serving layer exists for. Every duplicate must be absorbed by
+// coalescing, the LRU, or the store: the command exits nonzero when the
+// server recomputes a duplicate, when any request fails, or when no
+// coalescing/cache activity is observed at all.
+//
+// With -out the percentiles are written as a BENCH_9.json-style snapshot
+// (the benchjson schema) so CI can diff runs against the checked-in
+// baseline:
+//
+//	loadgen -requests 200 -clients 8 -distinct 8 -out BENCH_9.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	m2td "repro"
+	"repro/api"
+	"repro/internal/benchjson"
+	"repro/internal/dynsys"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	m2td.MaybeDistWorker()
+	var (
+		addr     = flag.String("addr", "", "server base URL; empty self-hosts over a temporary store")
+		clients  = flag.Int("clients", 8, "concurrent client goroutines")
+		requests = flag.Int("requests", 200, "total campaign submissions")
+		distinct = flag.Int("distinct", 8, "distinct campaign configs cycled through the submissions")
+		tenants  = flag.Int("tenants", 4, "tenant identities cycled through the submissions")
+		system   = flag.String("system", "double-pendulum", "campaign dynamical system")
+		res      = flag.Int("res", 4, "campaign grid resolution")
+		samples  = flag.Int("samples", 3, "campaign time samples")
+		rank     = flag.Int("rank", 2, "campaign Tucker rank")
+		blockers = flag.Int("blockers", 8, "slow campaigns submitted first to occupy every executor, making the coalescing assertion deterministic; must be at least the server's executor count")
+		out      = flag.String("out", "", "write percentile snapshot in the benchjson schema to this path")
+	)
+	flag.Parse()
+	if err := run(*addr, *clients, *requests, *distinct, *tenants, *system, *res, *samples, *rank, *blockers, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, clients, requests, distinct, tenants int, system string, res, samples, rank, blockers int, out string) error {
+	if clients < 1 || requests < 1 || distinct < 1 || tenants < 1 {
+		return fmt.Errorf("-clients, -requests, -distinct, -tenants must be positive")
+	}
+	if distinct > requests {
+		distinct = requests
+	}
+	ctx := context.Background()
+
+	if addr == "" {
+		base, shutdown, err := selfHost()
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		addr = base
+	}
+
+	// Mid-range physical parameter values for the predict calls.
+	sys, err := dynsys.ByName(system)
+	if err != nil {
+		return err
+	}
+	var params []float64
+	for _, p := range sys.Params() {
+		params = append(params, (p.Min+p.Max)/2)
+	}
+
+	spec := func(i int) api.CampaignSpec {
+		return api.CampaignSpec{
+			System:      system,
+			Resolution:  res,
+			TimeSamples: samples,
+			Rank:        rank,
+			Seed:        int64(1 + i%distinct),
+		}
+	}
+	tenant := func(i int) string { return "load-" + strconv.Itoa(i%tenants) }
+	client := api.NewClient(addr)
+
+	// Occupy every executor with distinctly-seeded blocker campaigns so
+	// the workload campaigns primed below are guaranteed to still be
+	// queued when their duplicates arrive: the coalescing assertion is a
+	// certainty, not a race against a fast executor. In-process campaigns
+	// at these grid sizes finish in well under a millisecond, so the
+	// blockers request the multi-process engine — worker-process spawn
+	// and store round-trips put a hard physical floor under their wall
+	// clock that no warm cache can erode.
+	var blockerIDs []string
+	for i := 0; i < blockers; i++ {
+		sub, err := client.Submit(ctx, api.SubmitRequest{Tenant: "load-blocker", Campaign: api.CampaignSpec{
+			System:      system,
+			Resolution:  res + 2,
+			TimeSamples: samples,
+			Rank:        rank,
+			Seed:        int64(1000 + i),
+			Distributed: &api.DistSpec{Workers: 2, Shards: 4},
+		}})
+		if err != nil {
+			return fmt.Errorf("blocker submit %d: %w", i, err)
+		}
+		blockerIDs = append(blockerIDs, sub.JobID)
+	}
+
+	// Prime the coalescing path: each distinct campaign queues behind the
+	// blockers, and its immediate duplicate must attach to it in flight.
+	for i := 0; i < distinct; i++ {
+		if _, err := client.Submit(ctx, api.SubmitRequest{Tenant: tenant(i), Campaign: spec(i)}); err != nil {
+			return fmt.Errorf("prime submit %d: %w", i, err)
+		}
+		dup, err := client.Submit(ctx, api.SubmitRequest{Tenant: tenant(i + 1), Campaign: spec(i)})
+		if err != nil {
+			return fmt.Errorf("prime duplicate %d: %w", i, err)
+		}
+		if !dup.Coalesced {
+			return fmt.Errorf("immediate duplicate of queued campaign %d did not coalesce: %+v", i, dup)
+		}
+	}
+
+	var (
+		mu                   sync.Mutex
+		submitNS, campaignNS []float64
+		statusNS, predictNS  []float64
+		firstErr             error
+	)
+	record := func(dst *[]float64, start time.Time) {
+		mu.Lock()
+		*dst = append(*dst, float64(time.Since(start).Nanoseconds()))
+		mu.Unlock()
+	}
+	failf := func(format string, args ...any) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf(format, args...)
+		}
+		mu.Unlock()
+	}
+
+	next := make(chan int, requests)
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := api.NewClient(addr)
+			for i := range next {
+				start := time.Now()
+				sub, err := cl.Submit(ctx, api.SubmitRequest{Tenant: tenant(i), Campaign: spec(i)})
+				if err != nil {
+					failf("submit %d: %v", i, err)
+					return
+				}
+				record(&submitNS, start)
+				st, err := cl.Wait(ctx, sub.JobID, 50*time.Millisecond)
+				if err != nil {
+					failf("wait %d: %v", i, err)
+					return
+				}
+				if st.State != api.StateDone {
+					failf("campaign %d finished %s: %v", i, st.State, st.Error)
+					return
+				}
+				record(&campaignNS, start)
+
+				qStart := time.Now()
+				if _, err := cl.Status(ctx, sub.JobID, 0); err != nil {
+					failf("status %d: %v", i, err)
+					return
+				}
+				record(&statusNS, qStart)
+
+				pStart := time.Now()
+				if _, err := cl.Predict(ctx, sub.JobID, params); err != nil {
+					failf("predict %d: %v", i, err)
+					return
+				}
+				record(&predictNS, pStart)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Let the blockers drain before the final accounting.
+	for i, id := range blockerIDs {
+		st, err := client.Wait(ctx, id, 50*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("blocker wait %d: %w", i, err)
+		}
+		if st.State != api.StateDone {
+			return fmt.Errorf("blocker %d finished %s: %v", i, st.State, st.Error)
+		}
+	}
+
+	// A final duplicate sweep over finished campaigns guarantees cache (or
+	// store) hits are exercised even when the concurrent phase coalesced
+	// every duplicate.
+	for i := 0; i < distinct; i++ {
+		sub, err := client.Submit(ctx, api.SubmitRequest{Tenant: tenant(i), Campaign: spec(i)})
+		if err != nil {
+			return fmt.Errorf("sweep submit %d: %w", i, err)
+		}
+		if !sub.CacheHit && !sub.StoreHit {
+			return fmt.Errorf("duplicate of finished campaign %d recomputed: %+v", i, sub)
+		}
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if stats.Coalesced == 0 {
+		return fmt.Errorf("no submissions coalesced (stats %+v)", stats)
+	}
+	if stats.CacheHits == 0 {
+		return fmt.Errorf("no cache hits (stats %+v)", stats)
+	}
+	if stats.JobsFailed > 0 {
+		return fmt.Errorf("%d campaigns failed", stats.JobsFailed)
+	}
+	recompute := float64(stats.JobsDone) / float64(stats.Submits)
+
+	fmt.Printf("loadgen: %d requests, %d clients, %d distinct campaigns, %d tenants\n",
+		requests, clients, distinct, tenants)
+	fmt.Printf("  jobs done %d, coalesced %d, cache hits %d, store hits %d (recompute fraction %.4f)\n",
+		stats.JobsDone, stats.Coalesced, stats.CacheHits, stats.StoreHits, recompute)
+	report := map[string]benchjson.Result{
+		"LoadgenRecomputeFraction": {NsPerOp: recompute, Iterations: stats.Submits},
+	}
+	for name, lat := range map[string][]float64{
+		"LoadgenSubmit":   submitNS,
+		"LoadgenCampaign": campaignNS,
+		"LoadgenStatus":   statusNS,
+		"LoadgenPredict":  predictNS,
+	} {
+		sort.Float64s(lat)
+		for _, q := range []struct {
+			label string
+			frac  float64
+		}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+			ns := percentile(lat, q.frac)
+			fmt.Printf("  %-16s %s %9.3f ms\n", name, q.label, ns/1e6)
+			report[name+"/"+q.label] = benchjson.Result{NsPerOp: ns, Iterations: int64(len(lat))}
+		}
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+// percentile returns the value at quantile q of sorted ns samples
+// (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// selfHost spins up an in-process campaign server over a temporary store
+// and returns its base URL and a shutdown function.
+func selfHost() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "loadgen-store-")
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	s, err := serve.New(serve.Options{Store: st, Registry: obs.NewRegistry()})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	shutdown := func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		_ = s.Shutdown(sctx)
+		_ = srv.Shutdown(sctx)
+		cancel()
+		os.RemoveAll(dir)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

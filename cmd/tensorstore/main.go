@@ -1,7 +1,9 @@
 // Command tensorstore manages an on-disk catalog of ensemble tensors and
-// Tucker decompositions (the block-based store of internal/store).
+// Tucker decompositions (the block-based store of internal/store), hosts
+// that catalog as a long-running campaign server, and talks to a running
+// server through the typed /v1/ API.
 //
-// Usage:
+// Catalog usage:
 //
 //	tensorstore -dir ./tensors put -name ens -system lorenz -res 8 -budget 100
 //	tensorstore -dir ./tensors ls
@@ -10,37 +12,69 @@
 //	tensorstore -dir ./tensors dump -name ens | head
 //	tensorstore -dir ./tensors rm -name ens
 //	tensorstore -dir ./tensors import -name x -shape 4,4,4 < cells.csv
+//
+// Server usage:
+//
+//	tensorstore -dir ./tensors serve -addr 127.0.0.1:8642
+//
+// Client usage (against a running server):
+//
+//	tensorstore submit -addr http://127.0.0.1:8642 -system lorenz -res 8 -rank 3 -wait
+//	tensorstore status -addr http://127.0.0.1:8642 -job j1
+//	tensorstore result -addr http://127.0.0.1:8642 -job j1
+//	tensorstore predict -addr http://127.0.0.1:8642 -job j1 -params 0.5,1.0,2.0
+//	tensorstore jobs -addr http://127.0.0.1:8642
+//	tensorstore stats -addr http://127.0.0.1:8642
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
+	m2td "repro"
+	"repro/api"
 	"repro/internal/dynsys"
 	"repro/internal/ensemble"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/tensor"
-	"repro/internal/tucker"
 )
 
 func main() {
+	m2td.MaybeDistWorker()
 	dir := flag.String("dir", "./tensors", "store directory")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+	cmd, rest := args[0], args[1:]
+
+	// Client commands talk to a remote server and never open the store.
+	switch cmd {
+	case "submit", "status", "result", "predict", "jobs", "stats":
+		if err := clientCmd(cmd, rest); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	st, err := store.Open(*dir)
 	if err != nil {
 		fatal(err)
 	}
-	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "put":
 		err = put(st, rest)
@@ -56,6 +90,8 @@ func main() {
 		err = decompose(st, rest)
 	case "rm":
 		err = rm(st, rest)
+	case "serve":
+		err = serveCmd(st, rest)
 	default:
 		usage()
 	}
@@ -65,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tensorstore [-dir DIR] {put|import|ls|info|dump|decompose|rm} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tensorstore [-dir DIR] {put|import|ls|info|dump|decompose|rm|serve|submit|status|result|predict|jobs|stats} [flags]")
 	os.Exit(2)
 }
 
@@ -82,7 +118,7 @@ func put(st *store.Store, args []string) error {
 	samples := fs.Int("samples", 8, "time samples")
 	scheme := fs.String("scheme", "random", "sampling scheme: random, grid, slice")
 	budget := fs.Int("budget", 64, "simulation budget")
-	seed := fs.Int64("seed", 1, "sampling seed")
+	seed := fs.Int64("seed", 1, "sampling seed; the counter-based generator makes the sampled set byte-for-byte reproducible for a given seed, across runs and platforms")
 	fs.Parse(args)
 	if *name == "" {
 		return fmt.Errorf("put: -name is required")
@@ -92,7 +128,9 @@ func put(st *store.Store, args []string) error {
 		return err
 	}
 	space := ensemble.NewSpace(sys, *res, *samples)
-	rng := rand.New(rand.NewSource(*seed))
+	// Counter-based (stateless) randomness: the stream is a pure function
+	// of the seed, so identical invocations store identical tensors.
+	rng := ensemble.CounterRand(*seed)
 	var sims []ensemble.Sim
 	switch *scheme {
 	case "random":
@@ -191,6 +229,8 @@ func decompose(st *store.Store, args []string) error {
 	out := fs.String("out", "", "output decomposition name (required)")
 	rank := fs.Int("rank", 3, "uniform target rank")
 	hooi := fs.Bool("hooi", false, "refine with HOOI iterations")
+	sketch := fs.Float64("sketch", 0, "deterministic count-sketch keep fraction in (0, 1]; 0 = exact")
+	sketchSeed := fs.Int64("sketch-seed", 1, "sketch hashing seed")
 	par := fs.Int("parallel", 0, "worker-pool size for the decomposition kernels (0 = all CPUs, 1 = serial; results are identical for any value)")
 	fs.Parse(args)
 	if *name == "" || *out == "" {
@@ -200,21 +240,28 @@ func decompose(st *store.Store, args []string) error {
 	if err != nil {
 		return err
 	}
-	ranks := tucker.UniformRanks(t.Order(), *rank)
-	var dec tucker.Decomposition
-	if *hooi {
-		dec = tucker.HOOI(t, ranks, tucker.HOOIOptions{Workers: *par})
-	} else {
-		dec = tucker.HOSVDWorkers(t, ranks, *par)
-	}
-	if err := st.SaveDecomposition(*out, dec); err != nil {
-		return err
-	}
-	fit, err := tucker.FitOf(dec, t)
+	res, err := m2td.TuckerCtx(context.Background(), t, m2td.TuckerOptions{
+		Rank:     *rank,
+		HOOI:     *hooi,
+		Sketch:   m2td.SketchConfig{KeepFrac: *sketch, Seed: *sketchSeed},
+		Parallel: *par,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("stored %q: ranks %v, fit %.6f\n", *out, dec.Ranks, fit)
+	if err := st.SaveDecomposition(*out, res.Decomposition); err != nil {
+		return err
+	}
+	fit, err := res.Fit(t)
+	if err != nil {
+		return err
+	}
+	if res.Sketched {
+		fmt.Printf("stored %q: ranks %v, fit %.6f (sketch kept %d of %d cells)\n",
+			*out, res.Ranks, fit, res.SketchKept, res.SketchInput)
+		return nil
+	}
+	fmt.Printf("stored %q: ranks %v, fit %.6f\n", *out, res.Ranks, fit)
 	return nil
 }
 
@@ -289,4 +336,185 @@ func importCmd(st *store.Store, args []string, r io.Reader) error {
 	}
 	fmt.Printf("stored %q: shape %v, %d cells\n", *name, shape, t.NNZ())
 	return nil
+}
+
+// serveCmd hosts the store as a campaign server until SIGINT/SIGTERM,
+// then drains gracefully.
+func serveCmd(st *store.Store, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8642", "listen address")
+	queue := fs.Int("queue", 0, "max queued campaigns (0 = default)")
+	quota := fs.Int("quota", 0, "per-tenant queued+running campaign quota (0 = default)")
+	cacheSize := fs.Int("cache", 0, "decomposition LRU capacity (0 = default)")
+	executors := fs.Int("executors", 0, "concurrent campaign limit (0 = default)")
+	par := fs.Int("parallel", 0, "per-campaign kernel worker-pool size (0 = all CPUs)")
+	jobTimeout := fs.Duration("job-timeout", 0, "default per-campaign wall-clock bound (0 = none)")
+	distSims := fs.Int("dist-sims", 0, "auto-dispatch campaigns with at least this many simulations onto the distributed engine (0 = never)")
+	distWorkers := fs.Int("dist-workers", 0, "worker processes for auto-dispatched campaigns (0 = default)")
+	drain := fs.Duration("drain", time.Minute, "graceful-drain bound on shutdown")
+	fs.Parse(args)
+
+	s, err := serve.New(serve.Options{
+		Store:       st,
+		MaxQueue:    *queue,
+		TenantQuota: *quota,
+		CacheSize:   *cacheSize,
+		Executors:   *executors,
+		Parallel:    *par,
+		JobTimeout:  *jobTimeout,
+		DistSims:    *distSims,
+		DistWorkers: *distWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s.Start(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("tensorstore: serving /v1 on http://%s (store %s)\n", ln.Addr(), st.Dir())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+	fmt.Fprintln(os.Stderr, "tensorstore: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := s.Shutdown(dctx)
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	_ = srv.Shutdown(hctx)
+	return drainErr
+}
+
+// clientCmd runs one typed-API client command against a running server.
+func clientCmd(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8642", "server base URL")
+	tenant := fs.String("tenant", "", "tenant identity sent as "+api.TenantHeader)
+	job := fs.String("job", "", "job ID (status, result, predict)")
+	wait := fs.Duration("wait", 0, "status: long-poll up to this duration; submit: block until the campaign finishes")
+	params := fs.String("params", "", "predict: comma-separated physical parameter values")
+
+	// Submit-only campaign flags.
+	system := fs.String("system", "", "dynamical system (server default when empty)")
+	res := fs.Int("res", 0, "grid resolution per parameter")
+	samples := fs.Int("samples", 0, "time samples")
+	rank := fs.Int("rank", 0, "uniform Tucker rank")
+	method := fs.String("method", "", "decomposition method")
+	pivot := fs.String("pivot", "", "pivot dimension name")
+	seed := fs.Int64("seed", 0, "sampling seed")
+	sketch := fs.Float64("sketch", 0, "count-sketch keep fraction in (0, 1]; 0 = exact")
+	sketchSeed := fs.Int64("sketch-seed", 0, "sketch hashing seed")
+	dist := fs.Int("dist", 0, "distributed worker processes; 0 leaves dispatch to the server")
+	distShards := fs.Int("dist-shards", 0, "distributed shard count (0 = derived from workers)")
+	accSims := fs.Int("acc-sims", 0, "sampled accuracy-estimate simulations (0 = skip accuracy)")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	timeout := fs.Duration("timeout", 0, "per-campaign wall-clock bound")
+	fs.Parse(args)
+
+	client := api.NewClient(*addr)
+	client.Tenant = *tenant
+	ctx := context.Background()
+
+	switch cmd {
+	case "submit":
+		spec := api.CampaignSpec{
+			System:             *system,
+			Resolution:         *res,
+			TimeSamples:        *samples,
+			Rank:               *rank,
+			Method:             *method,
+			Pivot:              *pivot,
+			Seed:               *seed,
+			AccuracySampleSims: *accSims,
+			TimeoutMS:          timeout.Milliseconds(),
+		}
+		if *sketch > 0 {
+			spec.Sketch = api.SketchSpec{KeepFrac: *sketch, Seed: *sketchSeed}
+		}
+		if *dist > 0 {
+			spec.Distributed = &api.DistSpec{Workers: *dist, Shards: *distShards}
+		}
+		sub, err := client.Submit(ctx, api.SubmitRequest{Tenant: *tenant, Priority: *priority, Campaign: spec})
+		if err != nil {
+			return err
+		}
+		if *wait == 0 {
+			return printJSON(sub)
+		}
+		if _, err := client.Wait(ctx, sub.JobID, 250*time.Millisecond); err != nil {
+			return err
+		}
+		result, err := client.Result(ctx, sub.JobID)
+		if err != nil {
+			return err
+		}
+		return printJSON(result)
+	case "status":
+		requireJob(fs, *job)
+		st, err := client.Status(ctx, *job, *wait)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "result":
+		requireJob(fs, *job)
+		result, err := client.Result(ctx, *job)
+		if err != nil {
+			return err
+		}
+		return printJSON(result)
+	case "predict":
+		requireJob(fs, *job)
+		var values []float64
+		for _, part := range strings.Split(*params, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("predict: bad -params value %q", part)
+			}
+			values = append(values, v)
+		}
+		pred, err := client.Predict(ctx, *job, values)
+		if err != nil {
+			return err
+		}
+		return printJSON(pred)
+	case "jobs":
+		jobs, err := client.Jobs(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(jobs)
+	case "stats":
+		stats, err := client.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(stats)
+	}
+	return fmt.Errorf("unknown client command %q", cmd)
+}
+
+func requireJob(fs *flag.FlagSet, job string) {
+	if job == "" {
+		fmt.Fprintf(os.Stderr, "tensorstore %s: -job is required\n", fs.Name())
+		os.Exit(2)
+	}
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -134,6 +134,57 @@ func TestImportRoundtrip(t *testing.T) {
 	}
 }
 
+// TestPutReproducible pins the put command's byte-for-byte guarantee:
+// the counter-based sampler makes the stored tensor a pure function of
+// the seed.
+func TestPutReproducible(t *testing.T) {
+	stA, stB := testStoreWith(t), testStoreWith(t)
+	args := []string{"-name", "ens", "-system", "lorenz", "-res", "4", "-samples", "2", "-budget", "10", "-seed", "7"}
+	if err := put(stA, args); err != nil {
+		t.Fatal(err)
+	}
+	if err := put(stB, args); err != nil {
+		t.Fatal(err)
+	}
+	a, err := stA.LoadSparse("ens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stB.LoadSparse("ens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() || a.Norm() != b.Norm() {
+		t.Fatalf("same-seed puts differ: %d/%g vs %d/%g", a.NNZ(), a.Norm(), b.NNZ(), b.Norm())
+	}
+	// A different seed must sample a different set.
+	stC := testStoreWith(t)
+	argsC := append(append([]string(nil), args[:len(args)-1]...), "8")
+	if err := put(stC, argsC); err != nil {
+		t.Fatal(err)
+	}
+	c, err := stC.LoadSparse("ens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Norm() == c.Norm() {
+		t.Fatal("seed 7 and seed 8 sampled identical ensembles")
+	}
+}
+
+func TestDecomposeSketched(t *testing.T) {
+	st := testStoreWith(t)
+	if err := put(st, []string{"-name", "ens", "-system", "lorenz", "-res", "4", "-samples", "2", "-budget", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := decompose(st, []string{"-name", "ens", "-out", "dec", "-rank", "2", "-sketch", "0.8"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadDecomposition("dec"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestImportValidation(t *testing.T) {
 	st := testStoreWith(t)
 	if err := importCmd(st, nil, strings.NewReader("")); err == nil {

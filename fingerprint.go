@@ -1,0 +1,53 @@
+package m2td
+
+import "fmt"
+
+// Fingerprint returns a stable identity string for the FULL campaign
+// configuration: every field that can change the decomposition a run
+// produces is included — the simulation-generating fields of the
+// checkpoint fingerprint plus rank, method, zero-join, the in-process
+// D-M2TD worker count, accuracy settings, sketching, and the distributed
+// shard count. Fields that are bit-identical by contract (Parallel,
+// Distributed.Workers at a fixed Shards) are deliberately excluded, so
+// runs that must produce the same result share a fingerprint.
+//
+// The campaign server keys request coalescing and its decomposition cache
+// on this value; callers should canonicalize free-form System/Method input
+// (ParseSystem, ParseMethod) before fingerprinting so aliases collapse to
+// one key.
+func (c Config) Fingerprint() string {
+	cfg := c.normalize()
+	fp := fmt.Sprintf("full-v1|%s|res=%d|t=%d|pivot=%s|P=%g|E=%g|seed=%d|rank=%d|method=%s|zj=%t|w=%d|factored=%t|acc=%t:%d",
+		cfg.System, cfg.Resolution, cfg.TimeSamples, cfg.Pivot,
+		cfg.PivotDensity, cfg.SubEnsembleDensity, cfg.Seed,
+		cfg.Rank, cfg.Method, cfg.ZeroJoin, cfg.Workers, cfg.Factored,
+		cfg.SkipAccuracy, cfg.AccuracySampleSims)
+	if cfg.Sketch.KeepFrac > 0 {
+		fp += fmt.Sprintf("|sketch=%g:%d", cfg.Sketch.KeepFrac, cfg.Sketch.Seed)
+	}
+	if d := cfg.Distributed; d != nil {
+		shards := d.Shards
+		if shards == 0 {
+			shards = d.Workers
+		}
+		if shards < 1 {
+			shards = 1
+		}
+		fp += fmt.Sprintf("|dist-shards=%d", shards)
+	}
+	fp += cfg.faultsSuffix()
+	return fp
+}
+
+// faultsSuffix is the fault-injection component shared by the checkpoint
+// fingerprint and the exported Fingerprint: injected faults change which
+// simulations survive, so two configs differing only in Faults must never
+// share an identity.
+func (c Config) faultsSuffix() string {
+	if c.Faults == nil {
+		return ""
+	}
+	f := c.Faults
+	return fmt.Sprintf("|faults=%d:%g:%d:%g:%g:%g:%s",
+		f.Seed, f.TransientRate, f.TransientAttempts, f.DivergentRate, f.PanicRate, f.LatencyRate, f.Latency)
+}

@@ -1,0 +1,49 @@
+package ensemble
+
+import "math/rand"
+
+// counterSource is a counter-based rand.Source64: draw n of stream seed is
+// the splitmix64 mix of (seed, n) and nothing else. Unlike the default
+// math/rand source there is no hidden evolving state — reseeding with the
+// same value replays the identical stream on every platform and build,
+// which is what makes byte-for-byte reproducible sampling guarantees
+// possible for CLI tools (cmd/tensorstore put).
+type counterSource struct {
+	seed uint64
+	n    uint64
+}
+
+// CounterRand returns a *rand.Rand over the counter-based stream for
+// seed. Two CounterRand(seed) instances always produce identical draw
+// sequences; the stream is a pure function of (seed, draw index).
+func CounterRand(seed int64) *rand.Rand {
+	return rand.New(&counterSource{seed: uint64(seed)})
+}
+
+// Uint64 implements rand.Source64.
+func (s *counterSource) Uint64() uint64 {
+	s.n++
+	return counterMix(s.seed + s.n*0x9e3779b97f4a7c15)
+}
+
+// Int63 implements rand.Source.
+func (s *counterSource) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Seed implements rand.Source, restarting the stream.
+func (s *counterSource) Seed(seed int64) {
+	s.seed = uint64(seed)
+	s.n = 0
+}
+
+// counterMix is the splitmix64 finalizer: a bijective avalanche mix, so
+// consecutive counter values map to statistically independent outputs.
+func counterMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -30,19 +30,16 @@ type Server struct {
 	closeErr  error
 }
 
-// ServeMetrics starts serving reg on addr in a background goroutine and
-// returns immediately. The caller owns the returned server and should
-// Close it on shutdown; Close is also safe to leave to process exit for
-// CLI tools.
-func ServeMetrics(addr string, reg *Registry) (*Server, error) {
+// Mux returns a fresh diagnostics mux for reg (nil means Default):
+// /metrics, /debug/vars, and the /debug/pprof/ endpoints, plus an index
+// page at "/". ServeMetrics serves exactly this mux on its own listener;
+// callers embedding diagnostics into a larger server (the campaign
+// server) mount the same mux instead of duplicating the wiring.
+func Mux(reg *Registry) *http.ServeMux {
 	if reg == nil {
 		reg = Default
 	}
 	reg.PublishExpvar("m2td")
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: metrics listener %q: %w", addr, err)
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -61,7 +58,19 @@ func ServeMetrics(addr string, reg *Registry) (*Server, error) {
 		}
 		fmt.Fprint(w, "m2td observability endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n")
 	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// ServeMetrics starts serving reg on addr in a background goroutine and
+// returns immediately. The caller owns the returned server and should
+// Close it on shutdown; Close is also safe to leave to process exit for
+// CLI tools.
+func ServeMetrics(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Mux(reg), ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{Addr: lis.Addr().String(), lis: lis, srv: srv, done: make(chan struct{})}
 	go func() {
 		// ErrServerClosed after Close is the expected shutdown path.

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"container/list"
+
+	m2td "repro"
+	"repro/api"
+)
+
+// cacheEntry is one finished campaign in the decomposition LRU: the
+// producing job's identity, the wire result header, and the slim report
+// Predict evaluates. Entries reconstructed from the durable store after a
+// restart carry a nil report until first predicted against.
+type cacheEntry struct {
+	jobID  string
+	info   *api.DecompositionInfo
+	report *m2td.Report
+}
+
+// lruCache is a fingerprint-keyed LRU over finished decompositions,
+// guarded by the server mutex. It sits in front of the durable store:
+// eviction only costs the next identical submission a store read, never a
+// recompute.
+type lruCache struct {
+	cap     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // fingerprint → element
+}
+
+type lruItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the entry for a fingerprint and marks it most recent.
+func (c *lruCache) get(key string) *cacheEntry {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).entry
+}
+
+// put inserts or refreshes an entry, evicting the least recent beyond
+// capacity.
+func (c *lruCache) put(key string, e *cacheEntry) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruItem).entry = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruItem{key: key, entry: e})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*lruItem).key)
+	}
+}
+
+// len reports the live entry count.
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/api"
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; campaign specs and predict
+// parameter vectors are tiny.
+const maxBodyBytes = 1 << 20
+
+// maxWait caps the status long-poll hold.
+const maxWait = 5 * time.Minute
+
+// Handler returns the server's full HTTP surface: the typed /v1/ API
+// routes plus the obs diagnostics endpoints (/metrics, /debug/vars,
+// /debug/pprof/) on one mux. Request latency is recorded server-wide and
+// per tenant before the response is written.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.RouteSubmit, s.handleSubmit)
+	mux.HandleFunc(api.RouteJobs, s.handleJobs)
+	mux.HandleFunc(api.RouteStatus, s.handleStatus)
+	mux.HandleFunc(api.RouteResult, s.handleResult)
+	mux.HandleFunc(api.RoutePredict, s.handlePredict)
+	mux.HandleFunc(api.RouteStats, s.handleStats)
+	mux.HandleFunc(api.RouteHealth, s.handleHealth)
+	diag := obs.Mux(s.opts.Registry)
+	mux.Handle("/metrics", diag)
+	mux.Handle("/debug/", diag)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with the latency histograms.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		elapsed := time.Since(start).Seconds()
+		s.metrics.requestSeconds.Observe(elapsed)
+		if tenant := r.Header.Get(api.TenantHeader); tenant != "" {
+			s.metrics.tenantHistogram(tenant).Observe(elapsed)
+		}
+	})
+}
+
+// httpStatus maps machine-readable error codes onto HTTP statuses.
+func httpStatus(code api.ErrorCode) int {
+	switch code {
+	case api.CodeInvalidRequest:
+		return http.StatusBadRequest
+	case api.CodeNotFound:
+		return http.StatusNotFound
+	case api.CodeQuotaExceeded:
+		return http.StatusTooManyRequests
+	case api.CodeQueueFull, api.CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case api.CodeNotDone:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes a 200 with a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding a wire struct cannot fail; a broken connection surfaces to
+	// the client, not to us.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes the typed error envelope with its mapped status.
+func writeErr(w http.ResponseWriter, e *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus(e.Code))
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, &api.Error{Code: api.CodeInvalidRequest, Message: "decode submit request: " + err.Error()})
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get(api.TenantHeader)
+	}
+	if tenant == "" {
+		tenant = "anon"
+	}
+	cfg, err := s.buildConfig(req.Campaign)
+	if err != nil {
+		writeErr(w, &api.Error{Code: api.CodeInvalidRequest, Message: err.Error()})
+		return
+	}
+	resp, apiErr := s.submit(tenant, req.Priority, cfg, req.Campaign.TimeoutMS)
+	if apiErr != nil {
+		writeErr(w, apiErr)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, api.JobsResponse{Jobs: s.jobList()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, &api.Error{Code: api.CodeNotFound, Message: "no such job"})
+		return
+	}
+	if waitArg := r.URL.Query().Get("wait"); waitArg != "" {
+		wait, err := time.ParseDuration(waitArg)
+		if err != nil || wait < 0 {
+			writeErr(w, &api.Error{Code: api.CodeInvalidRequest, Message: "bad wait duration"})
+			return
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-j.done:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+	}
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, &api.Error{Code: api.CodeNotFound, Message: "no such job"})
+		return
+	}
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	info := j.info
+	s.mu.Unlock()
+	switch st.State {
+	case api.StateDone:
+		writeJSON(w, api.ResultResponse{Job: st, Decomposition: info})
+	case api.StateFailed:
+		msg := "campaign failed"
+		if st.Error != nil {
+			msg = st.Error.Message
+		}
+		writeErr(w, &api.Error{Code: api.CodeJobFailed, Message: msg})
+	default:
+		writeErr(w, &api.Error{Code: api.CodeNotDone, Message: "campaign has not finished"})
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, &api.Error{Code: api.CodeNotFound, Message: "no such job"})
+		return
+	}
+	var req api.PredictRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, &api.Error{Code: api.CodeInvalidRequest, Message: "decode predict request: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	s.mu.Unlock()
+	if state != api.StateDone {
+		writeErr(w, &api.Error{Code: api.CodeNotDone, Message: "campaign has not finished"})
+		return
+	}
+	report, err := s.reportFor(j)
+	if err != nil {
+		writeErr(w, &api.Error{Code: api.CodeInternal, Message: "load decomposition: " + err.Error()})
+		return
+	}
+	values, err := report.Predict(req.Params)
+	if err != nil {
+		writeErr(w, &api.Error{Code: api.CodeInvalidRequest, Message: err.Error()})
+		return
+	}
+	writeJSON(w, api.PredictResponse{JobID: j.id, Values: values})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, api.HealthResponse{OK: true, Version: api.Version, Draining: draining})
+}

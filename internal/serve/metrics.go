@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// latencyBounds buckets request and job latencies (seconds): sub-ms
+// cache hits through multi-minute campaigns.
+var latencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// metrics is the server's observability surface: server-wide counters
+// and latency histograms, plus get-or-create per-tenant instruments.
+// Counters are the single source of truth — the typed /v1/stats endpoint
+// reads the same values Prometheus scrapes.
+type metrics struct {
+	reg *obs.Registry
+
+	submits       *obs.Counter
+	coalesced     *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	storeHits     *obs.Counter
+	quotaRejected *obs.Counter
+	queueRejected *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+
+	requestSeconds *obs.Histogram
+	jobSeconds     *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry, s *Server) *metrics {
+	m := &metrics{
+		reg:            reg,
+		submits:        reg.Counter("m2td_serve_submits_total", "campaign submissions accepted for admission"),
+		coalesced:      reg.Counter("m2td_serve_coalesced_total", "submissions attached to an identical in-flight campaign"),
+		cacheHits:      reg.Counter("m2td_serve_cache_hits_total", "submissions served from the decomposition LRU"),
+		cacheMisses:    reg.Counter("m2td_serve_cache_misses_total", "submissions that missed the decomposition LRU"),
+		storeHits:      reg.Counter("m2td_serve_store_hits_total", "submissions served from the durable store"),
+		quotaRejected:  reg.Counter("m2td_serve_quota_rejected_total", "submissions rejected by per-tenant quota"),
+		queueRejected:  reg.Counter("m2td_serve_queue_rejected_total", "submissions rejected by the full queue"),
+		jobsDone:       reg.Counter("m2td_serve_jobs_done_total", "campaigns finished successfully"),
+		jobsFailed:     reg.Counter("m2td_serve_jobs_failed_total", "campaigns that failed"),
+		requestSeconds: reg.Histogram("m2td_serve_request_seconds", "HTTP request latency", latencyBounds),
+		jobSeconds:     reg.Histogram("m2td_serve_job_seconds", "submit-to-done campaign latency", latencyBounds),
+	}
+	reg.FuncGauge("m2td_serve_queue_depth", "queued campaigns", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.queue.Len())
+	})
+	reg.FuncGauge("m2td_serve_running", "running campaigns", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.running)
+	})
+	reg.FuncGauge("m2td_serve_cache_entries", "live decomposition LRU entries", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.cache.len())
+	})
+	return m
+}
+
+// tenantCounter returns the get-or-create per-tenant counter for one
+// kind ("submits", "cache_hits", "requests"). The registry has no label
+// support, so the sanitized tenant is folded into the metric name.
+func (m *metrics) tenantCounter(kind, tenant string) *obs.Counter {
+	return m.reg.Counter("m2td_serve_tenant_"+kind+"_total_"+sanitizeTenant(tenant),
+		"per-tenant "+strings.ReplaceAll(kind, "_", " "))
+}
+
+// tenantHistogram returns the get-or-create per-tenant request-latency
+// histogram.
+func (m *metrics) tenantHistogram(tenant string) *obs.Histogram {
+	return m.reg.Histogram("m2td_serve_tenant_request_seconds_"+sanitizeTenant(tenant),
+		"per-tenant HTTP request latency", latencyBounds)
+}
+
+// sanitizeTenant maps a free-form tenant identity onto Prometheus
+// metric-name characters.
+func sanitizeTenant(tenant string) string {
+	if tenant == "" {
+		return "anon"
+	}
+	var b strings.Builder
+	for _, r := range tenant {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

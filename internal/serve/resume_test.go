@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	m2td "repro"
+	"repro/api"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// TestKilledCampaignResumesFromCheckpoint is the serving half of the
+// kill-and-recover guarantee: a campaign that dies mid-flight (here via
+// its own deadline, with fault-injected simulation latency making the
+// deadline bite) leaves a checkpoint behind, and resubmitting the
+// identical campaign resumes from it instead of starting over.
+func TestKilledCampaignResumesFromCheckpoint(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Store:           st,
+		Registry:        obs.NewRegistry(),
+		Parallel:        1,
+		CheckpointEvery: 1,
+		ConfigHook: func(cfg *m2td.Config) {
+			// Slow every simulation down so the first attempt cannot
+			// finish inside its deadline. The hook runs after
+			// fingerprinting and is identical across attempts, so the
+			// checkpoint stays compatible.
+			cfg.Faults = &faults.Config{Seed: 1, LatencyRate: 1, Latency: 10 * time.Millisecond}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	hs := newClientFor(t, s)
+
+	spec := tinySpec()
+	spec.TimeoutMS = 150 // well under sims × 10ms
+
+	sub, err := hs.Submit(ctx, api.SubmitRequest{Campaign: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stFirst, err := hs.Wait(ctx, sub.JobID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stFirst.State != api.StateFailed {
+		t.Fatalf("deadline-bitten campaign state %s, want failed", stFirst.State)
+	}
+	if stFirst.Error == nil || stFirst.Error.Code != api.CodeJobFailed {
+		t.Fatalf("failed campaign error %+v", stFirst.Error)
+	}
+	if _, err := hs.Result(ctx, sub.JobID); !isCode(err, api.CodeJobFailed) {
+		t.Fatalf("result of failed campaign err %v", err)
+	}
+
+	// Identical campaign, no deadline: a fresh job (the failure cleared
+	// the in-flight entry) that resumes from the checkpoint.
+	spec.TimeoutMS = 0
+	sub2, err := hs.Submit(ctx, api.SubmitRequest{Campaign: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.Coalesced || sub2.CacheHit || sub2.StoreHit || sub2.JobID == sub.JobID {
+		t.Fatalf("resubmission should run fresh: %+v", sub2)
+	}
+	st2, err := hs.Wait(ctx, sub2.JobID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != api.StateDone {
+		t.Fatalf("resumed campaign state %s (err %v)", st2.State, st2.Error)
+	}
+	res, err := hs.Result(ctx, sub2.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decomposition.RestoredSims == 0 {
+		t.Fatal("resumed campaign restored 0 simulations — checkpoint was not used")
+	}
+	if res.Decomposition.RestoredSims >= res.Decomposition.NumSims {
+		t.Fatalf("restored %d of %d sims — first attempt should not have finished",
+			res.Decomposition.RestoredSims, res.Decomposition.NumSims)
+	}
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"accuracy":0.97,"num_sims":144}`)
+	if err := s.SaveBlob("hdr", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadBlob("hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("LoadBlob = %q, want %q", got, payload)
+	}
+
+	// Empty payloads round-trip too.
+	if err := s.SaveBlob("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.LoadBlob("empty"); err != nil || len(got) != 0 {
+		t.Fatalf("empty blob = %q, %v", got, err)
+	}
+
+	if _, err := s.LoadBlob("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing blob err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBlobKindMismatchAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveBlob("b", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// A blob is not loadable as a sparse tensor.
+	if _, err := s.LoadSparse("b"); err == nil {
+		t.Fatal("LoadSparse on a blob succeeded")
+	}
+	// Flip a payload byte: the CRC footer must catch it.
+	path := filepath.Join(dir, "b.m2td")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadBlob("b"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted blob err = %v, want ErrCorrupt", err)
+	}
+}

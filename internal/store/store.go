@@ -44,6 +44,7 @@ const (
 	kindTucker   = uint8(3)
 	kindSimSet   = uint8(4)
 	kindMatrices = uint8(5)
+	kindBlob     = uint8(6)
 )
 
 // ErrCorrupt is returned when a file fails checksum or structural

@@ -394,12 +394,7 @@ func (c Config) space() (*ensemble.Space, *faults.Injector, error) {
 func (c Config) fingerprint(pivot int) string {
 	fp := fmt.Sprintf("v1|%s|res=%d|t=%d|pivot=%d|P=%g|E=%g|seed=%d",
 		c.System, c.Resolution, c.TimeSamples, pivot, c.PivotDensity, c.SubEnsembleDensity, c.Seed)
-	if c.Faults != nil {
-		f := c.Faults
-		fp += fmt.Sprintf("|faults=%d:%g:%d:%g:%g:%g:%s",
-			f.Seed, f.TransientRate, f.TransientAttempts, f.DivergentRate, f.PanicRate, f.LatencyRate, f.Latency)
-	}
-	return fp
+	return fp + c.faultsSuffix()
 }
 
 // stageCtx derives a per-stage context: a deadline when the stage has a

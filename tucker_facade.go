@@ -1,0 +1,115 @@
+package m2td
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// TuckerOptions configures TuckerCtx — the facade's raw-tensor Tucker
+// entry point (cmd/tensorstore decompose). The zero value runs plain
+// HOSVD at uniform rank 4 on all CPUs.
+type TuckerOptions struct {
+	// Rank is the uniform per-mode target rank (0 = 4). Ranks, when
+	// non-nil, overrides it with explicit per-mode ranks.
+	Rank  int
+	Ranks []int
+	// HOOI refines the HOSVD initialisation with alternating HOOI sweeps.
+	HOOI bool
+	// Sketch enables the randomized sketch fast path (see Config.Sketch);
+	// Seed 0 defaults to 1.
+	Sketch SketchConfig
+	// Parallel is the worker-pool size for the decomposition kernels
+	// (0 = all CPUs, 1 = serial). Results are bit-identical for any value.
+	Parallel int
+	// Trace, when non-nil, receives a "tucker" stage span under its root.
+	Trace *obs.Trace
+}
+
+// TuckerResult is the outcome of TuckerCtx.
+type TuckerResult struct {
+	// Decomposition is the Tucker core + factors; pass it directly to
+	// store.SaveDecomposition.
+	Decomposition tucker.Decomposition
+	// Ranks are the effective (shape-clipped) per-mode ranks.
+	Ranks []int
+	// Sketched reports the sketch fast path ran; SketchKept and
+	// SketchInput are the retained and original cell counts when it did.
+	Sketched    bool
+	SketchKept  int
+	SketchInput int
+}
+
+// Fit returns the Tucker fit 1 − ‖X − X̂‖F/‖X‖F of the decomposition
+// against the tensor it was computed from. Sketched decompositions return
+// the fit against the sketch's unbiased estimate, an approximation of the
+// exact fit.
+func (r *TuckerResult) Fit(x *tensor.Sparse) (float64, error) {
+	return tucker.FitOf(r.Decomposition, x)
+}
+
+// TuckerCtx runs a plain Tucker decomposition (HOSVD, optionally refined
+// with HOOI sweeps, optionally on the randomized sketch fast path) over a
+// raw sparse tensor with cooperative cancellation — the facade entry
+// point for tensors that did not come out of the M2TD pipeline, so CLI
+// tools and the campaign server never call internal/tucker directly.
+func TuckerCtx(ctx context.Context, x *tensor.Sparse, opts TuckerOptions) (*TuckerResult, error) {
+	if x == nil || x.Order() == 0 {
+		return nil, fmt.Errorf("m2td: TuckerCtx needs a non-empty tensor")
+	}
+	ranks := opts.Ranks
+	if ranks == nil {
+		rank := opts.Rank
+		if rank == 0 {
+			rank = 4
+		}
+		ranks = tucker.UniformRanks(x.Order(), rank)
+	}
+	if opts.Sketch.KeepFrac != 0 && opts.Sketch.Seed == 0 {
+		opts.Sketch.Seed = 1
+	}
+	if f := opts.Sketch.KeepFrac; f < 0 || f > 1 {
+		return nil, fmt.Errorf("m2td: Sketch.KeepFrac %v outside (0, 1]", f)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("m2td: tucker stage: %w", err)
+	}
+	span := opts.Trace.Root().Start("tucker")
+	done := span.WithVitals(nil)
+	defer done()
+
+	res := &TuckerResult{}
+	if f := opts.Sketch.KeepFrac; f > 0 {
+		sopts := tucker.SketchOptions{KeepFrac: f, Seed: opts.Sketch.Seed, Workers: opts.Parallel, Span: span}
+		var (
+			dec   tucker.Decomposition
+			stats tucker.SketchStats
+			err   error
+		)
+		if opts.HOOI {
+			dec, stats, err = tucker.SketchedHOOI(x, ranks, sopts, tucker.HOOIOptions{Workers: opts.Parallel, Span: span})
+		} else {
+			dec, stats, err = tucker.SketchedHOSVD(x, ranks, sopts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("m2td: tucker stage: %w", err)
+		}
+		res.Decomposition = dec
+		res.Sketched = true
+		res.SketchKept = stats.Kept
+		res.SketchInput = stats.InputNNZ
+	} else if opts.HOOI {
+		dec, err := tucker.HOOICtx(ctx, x, ranks, tucker.HOOIOptions{Workers: opts.Parallel, Span: span})
+		if err != nil {
+			return nil, fmt.Errorf("m2td: tucker stage: %w", err)
+		}
+		res.Decomposition = dec
+	} else {
+		res.Decomposition = tucker.HOSVDSpan(x, ranks, opts.Parallel, span)
+	}
+	res.Ranks = res.Decomposition.Ranks
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package m2td
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// facadeTestTensor builds a small deterministic sparse tensor.
+func facadeTestTensor() *tensor.Sparse {
+	t := tensor.NewSparse(tensor.Shape{5, 4, 3})
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 3; k++ {
+				if (i+j+k)%2 == 0 {
+					t.Append([]int{i, j, k}, float64(1+i)*0.5+float64(j*k))
+				}
+			}
+		}
+	}
+	return t
+}
+
+func TestTuckerCtxMatchesInternal(t *testing.T) {
+	x := facadeTestTensor()
+	ranks := tucker.UniformRanks(x.Order(), 2)
+	ctx := context.Background()
+
+	res, err := TuckerCtx(ctx, x, TuckerOptions{Rank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tucker.HOSVDWorkers(x, ranks, 0)
+	if got, ref := res.Decomposition.Core.Norm(), want.Core.Norm(); got != ref {
+		//lint:allow floatcmp -- bit-identity assertion between two code paths of the same kernel
+		t.Fatalf("facade HOSVD core norm %v != internal %v", got, ref)
+	}
+	fit, err := res.Fit(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit <= 0 || fit > 1 {
+		t.Fatalf("fit %v outside (0, 1]", fit)
+	}
+
+	hres, err := TuckerCtx(ctx, x, TuckerOptions{Rank: 2, HOOI: true, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hfit, err := hres.Fit(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hfit < fit-1e-12 {
+		t.Fatalf("HOOI fit %v worse than HOSVD fit %v", hfit, fit)
+	}
+
+	sres, err := TuckerCtx(ctx, x, TuckerOptions{Rank: 2, Sketch: SketchConfig{KeepFrac: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Sketched || sres.SketchInput != x.NNZ() || sres.SketchKept <= 0 {
+		t.Fatalf("sketch accounting: %+v", sres)
+	}
+}
+
+func TestTuckerCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TuckerCtx(ctx, facadeTestTensor(), TuckerOptions{}); err == nil {
+		t.Fatal("cancelled TuckerCtx succeeded")
+	}
+}
+
+func TestConfigFingerprint(t *testing.T) {
+	base := Config{System: SystemLorenz, Resolution: 6, Rank: 3}
+	if got, again := base.Fingerprint(), base.Fingerprint(); got != again {
+		t.Fatalf("fingerprint unstable: %q vs %q", got, again)
+	}
+	// Defaults collapse: an explicit default equals the zero-field form.
+	explicit := Config{System: SystemLorenz, Resolution: 6, Rank: 3, Method: MethodSELECT, Seed: 1, Pivot: "t"}
+	if base.Fingerprint() != explicit.Fingerprint() {
+		t.Fatalf("normalized defaults differ:\n%q\n%q", base.Fingerprint(), explicit.Fingerprint())
+	}
+	// Parallel is excluded (bit-identical by contract).
+	par := base
+	par.Parallel = 7
+	if base.Fingerprint() != par.Fingerprint() {
+		t.Fatal("Parallel changed the fingerprint")
+	}
+	// Distributed.Workers is excluded at fixed Shards; Shards is included.
+	d2 := base
+	d2.Distributed = &DistributedConfig{Workers: 2, Shards: 4}
+	d3 := base
+	d3.Distributed = &DistributedConfig{Workers: 3, Shards: 4}
+	if d2.Fingerprint() != d3.Fingerprint() {
+		t.Fatal("Distributed.Workers changed the fingerprint at fixed Shards")
+	}
+	dOther := base
+	dOther.Distributed = &DistributedConfig{Workers: 2, Shards: 8}
+	if d2.Fingerprint() == dOther.Fingerprint() {
+		t.Fatal("Distributed.Shards did not change the fingerprint")
+	}
+	// Decomposition-shaping fields are included.
+	for name, mut := range map[string]func(*Config){
+		"Rank":     func(c *Config) { c.Rank = 5 },
+		"Method":   func(c *Config) { c.Method = MethodAVG },
+		"ZeroJoin": func(c *Config) { c.ZeroJoin = true },
+		"Seed":     func(c *Config) { c.Seed = 9 },
+		"Sketch":   func(c *Config) { c.Sketch = SketchConfig{KeepFrac: 0.5} },
+		"Workers":  func(c *Config) { c.Workers = 2 },
+	} {
+		c := base
+		mut(&c)
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Fatalf("%s did not change the fingerprint", name)
+		}
+	}
+	if !strings.HasPrefix(base.Fingerprint(), "full-v1|") {
+		t.Fatalf("fingerprint missing version prefix: %q", base.Fingerprint())
+	}
+}
