@@ -11,7 +11,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build vet lint lint-extra test race bench bench-json bench-diff bench-dist-json bench-dist-diff bench-smoke fuzz-smoke trace-smoke dist-smoke serve-smoke bench-serve-json bench-serve-diff ci clean
+.PHONY: all build vet lint lint-fix lint-extra test race bench bench-json bench-diff bench-dist-json bench-dist-diff bench-smoke fuzz-smoke trace-smoke dist-smoke serve-smoke bench-serve-json bench-serve-diff ci clean
 
 all: build
 
@@ -22,10 +22,19 @@ vet:
 	$(GO) vet ./...
 
 # Hermetic lint: go vet plus the in-repo m2tdlint invariant suite
-# (determinism, ctxprop, spans, floatcmp, quarantine — DESIGN.md §8).
-# Runs offline; any finding fails the target.
+# (determinism, ctxprop, spans, floatcmp, quarantine, locks, goroleak,
+# wirecompat, atomicstore, metrichygiene — DESIGN.md §8 and §15).
+# Runs offline; any finding fails the target. `m2tdlint -changed <ref>`
+# narrows a run to the packages changed since a git ref (what PR CI
+# does), and `-sarif` emits a code-scanning report.
 lint: vet
 	$(GO) run ./cmd/m2tdlint ./...
+
+# Apply every suggested fix (e.g. missing json tags on wire structs),
+# then re-run: the target fails only on findings the fixes could not
+# cure. Review the diff before committing — fixes are textual edits.
+lint-fix:
+	$(GO) run ./cmd/m2tdlint -fix ./...
 
 # External analyzers at pinned versions. Requires network for the first
 # install; kept out of `ci` so the aggregate stays runnable offline.

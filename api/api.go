@@ -18,7 +18,10 @@
 // pulls in the wire types and nothing of the engine.
 package api
 
-import "fmt"
+import (
+	"fmt"
+	"net/http"
+)
 
 // Version is the served API version.
 const Version = "v1"
@@ -68,6 +71,50 @@ const (
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
+
+// ErrorCodes enumerates every code the server emits, in declaration
+// order. Tests range over it to prove each code round-trips through the
+// envelope and lands on its mapped status; the wirecompat analyzer
+// keeps it in sync with the constant block above.
+var ErrorCodes = []ErrorCode{
+	CodeInvalidRequest,
+	CodeNotFound,
+	CodeQuotaExceeded,
+	CodeQueueFull,
+	CodeShuttingDown,
+	CodeJobFailed,
+	CodeNotDone,
+	CodeInternal,
+}
+
+// HTTPStatus is the canonical, exhaustive code→status mapping — the
+// single source of truth shared by the server's error writer and the
+// client's expectations. Both capacity conditions (queue_full,
+// shutting_down) map to 503: in each case the request is well-formed
+// and retryable once the server's state changes. A code outside the
+// vocabulary (possible only across version skew, ErrorCode being an
+// open string type) degrades to 500.
+func HTTPStatus(code ErrorCode) int {
+	switch code {
+	case CodeInvalidRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeQuotaExceeded:
+		return http.StatusTooManyRequests
+	case CodeQueueFull:
+		return http.StatusServiceUnavailable
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case CodeJobFailed:
+		return http.StatusInternalServerError
+	case CodeNotDone:
+		return http.StatusConflict
+	case CodeInternal:
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
 
 // Error is the typed error envelope. Every non-2xx response body is
 // exactly this struct.

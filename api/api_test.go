@@ -28,6 +28,61 @@ func TestErrorEnvelopeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestErrorCodeStatusMapping pins the full code→status table and proves
+// every registered code round-trips through the JSON envelope onto its
+// mapped status. Ranging over ErrorCodes (which wirecompat keeps in sync
+// with the constant block) means a future code cannot ship without a row
+// here failing.
+func TestErrorCodeStatusMapping(t *testing.T) {
+	want := map[ErrorCode]int{
+		CodeInvalidRequest: http.StatusBadRequest,
+		CodeNotFound:       http.StatusNotFound,
+		CodeQuotaExceeded:  http.StatusTooManyRequests,
+		CodeQueueFull:      http.StatusServiceUnavailable,
+		CodeShuttingDown:   http.StatusServiceUnavailable,
+		CodeJobFailed:      http.StatusInternalServerError,
+		CodeNotDone:        http.StatusConflict,
+		CodeInternal:       http.StatusInternalServerError,
+	}
+	if len(want) != len(ErrorCodes) {
+		t.Fatalf("golden table covers %d codes, ErrorCodes registers %d", len(want), len(ErrorCodes))
+	}
+	seen := map[ErrorCode]bool{}
+	for _, code := range ErrorCodes {
+		if seen[code] {
+			t.Errorf("ErrorCodes lists %s twice", code)
+		}
+		seen[code] = true
+
+		wantStatus, ok := want[code]
+		if !ok {
+			t.Errorf("code %s has no row in the golden status table", code)
+			continue
+		}
+		if got := HTTPStatus(code); got != wantStatus {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", code, got, wantStatus)
+		}
+
+		// Round-trip the code through the wire envelope and re-map: the
+		// status must survive serialization, not just the in-process value.
+		data, err := json.Marshal(&Error{Code: code, Message: "x"})
+		if err != nil {
+			t.Fatalf("marshal %s: %v", code, err)
+		}
+		var out Error
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", code, err)
+		}
+		if out.Code != code || HTTPStatus(out.Code) != wantStatus {
+			t.Errorf("round trip of %s: code=%s status=%d", code, out.Code, HTTPStatus(out.Code))
+		}
+	}
+	// Version skew: a code outside the vocabulary degrades to 500, never 0.
+	if got := HTTPStatus(ErrorCode("from_the_future")); got != http.StatusInternalServerError {
+		t.Errorf("unknown code maps to %d, want 500", got)
+	}
+}
+
 func TestJobStateTerminal(t *testing.T) {
 	for state, want := range map[JobState]bool{
 		StateQueued:  false,

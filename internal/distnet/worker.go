@@ -102,6 +102,7 @@ func (s *sender) send(t frameType, msg any) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//lint:allow locks -- s.mu is the frame-write serialization mutex; holding it across exactly one frame write is its entire purpose
 	return writeFrame(s.conn, t, payload)
 }
 
@@ -119,11 +120,16 @@ func (s *sender) sendCorrupt() {
 	crc.Write(payload)
 	var foot [4]byte
 	binary.LittleEndian.PutUint32(foot[:], crc.Sum32()^0xffffffff)
+	// Assemble the whole corrupt frame first so the serialized section is
+	// one write, like every healthy frame.
+	frame := make([]byte, 0, len(hdr)+len(payload)+len(foot))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, payload...)
+	frame = append(frame, foot[:]...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, _ = s.conn.Write(hdr[:])
-	_, _ = s.conn.Write(payload)
-	_, _ = s.conn.Write(foot[:])
+	//lint:allow locks -- s.mu is the frame-write serialization mutex; holding it across exactly one frame write is its entire purpose
+	_, _ = s.conn.Write(frame)
 }
 
 // workerState caches run-constant artifacts across tasks: the input

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AtomicStore bans direct file mutation in library packages: durable
+// bytes flow through internal/store, whose temp+rename+CRC protocol is
+// what makes kill-and-recover safe (DESIGN.md §11). An os.Create or
+// os.WriteFile sprinkled into a library package is a torn-write hazard
+// the recovery scan cannot see.
+//
+// internal/store itself is exempt — it IS the protocol — and so are
+// command/example packages, whose output files (reports, CSVs,
+// rendered plots) are operator-facing artifacts outside the durability
+// contract.
+var AtomicStore = &Analyzer{
+	Name: "atomicstore",
+	Doc: "ban direct os.Create/os.WriteFile/os.Rename in library packages; " +
+		"durable artifacts go through internal/store's temp+rename+CRC protocol",
+	Run: runAtomicStore,
+}
+
+// bannedFileFuncs maps the os entry points that create or move files to
+// the store capability that replaces them.
+var bannedFileFuncs = map[string]string{
+	"Create":    "store.SaveBlob / SaveDecomposition",
+	"WriteFile": "store.SaveBlob / SaveDecomposition",
+	"Rename":    "the store's internal commit step",
+}
+
+func runAtomicStore(p *Pass) {
+	if isToolPkg(p.Pkg.Path) || isStorePkg(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			for name, instead := range bannedFileFuncs {
+				if isPkgFunc(fn, "os", name) {
+					p.Reportf(call.Pos(), "direct os.%s in a library package is a torn-write hazard; durable bytes go through internal/store (%s)",
+						name, instead)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ChangedPatterns maps `git diff --name-only <ref>` onto the package
+// patterns whose directories contain changed .go files — the diff-aware
+// mode behind `m2tdlint -changed <ref>`. The returned patterns are
+// module-root-relative ("./internal/serve"); an empty slice means no Go
+// package changed since ref and the caller can report clean without
+// loading anything.
+//
+// Directories that no longer exist (a deleted package) and testdata
+// trees (the golden packages' deliberate violations) are skipped.
+func ChangedPatterns(root, ref string) ([]string, error) {
+	cmd := exec.Command("git", "diff", "--name-only", ref, "--", "*.go")
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %v\n%s", ref, err, stderr.String())
+	}
+	dirs := make(map[string]bool)
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !strings.HasSuffix(line, ".go") {
+			continue
+		}
+		if strings.Contains(line, "testdata/") {
+			continue
+		}
+		dir := filepath.Dir(line)
+		if info, err := os.Stat(filepath.Join(root, dir)); err != nil || !info.IsDir() {
+			continue // package deleted since ref
+		}
+		dirs[dir] = true
+	}
+	patterns := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		if dir == "." {
+			patterns = append(patterns, ".")
+			continue
+		}
+		patterns = append(patterns, "./"+filepath.ToSlash(dir))
+	}
+	sort.Strings(patterns)
+	return patterns, nil
+}

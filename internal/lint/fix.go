@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes materialises every diagnostic's suggested fix as new file
+// contents, keyed by absolute file path. Only diagnostics carrying a Fix
+// contribute; callers write the returned bytes and re-run the suite —
+// fixes are textual, so re-verification is the correctness check, not
+// this function.
+//
+// Overlapping edits within one file are an error (two fixes fighting
+// over the same bytes cannot both be right); identical duplicate edits
+// are collapsed.
+func ApplyFixes(pkgs []*Package, diags []Diagnostic) (map[string][]byte, error) {
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("lint: no packages to fix")
+	}
+	fset := pkgs[0].Fset
+
+	type edit struct {
+		start, end int
+		newText    string
+	}
+	byFile := make(map[string][]edit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			start := fset.Position(e.Pos)
+			end := start
+			if e.End != token.NoPos {
+				end = fset.Position(e.End)
+			}
+			if start.Filename == "" || end.Filename != start.Filename || end.Offset < start.Offset {
+				return nil, fmt.Errorf("lint: fix for %s has an invalid edit range", d)
+			}
+			byFile[start.Filename] = append(byFile[start.Filename], edit{start.Offset, end.Offset, e.NewText})
+		}
+	}
+
+	out := make(map[string][]byte, len(byFile))
+	for path, edits := range byFile {
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s to apply fixes: %v", path, err)
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		// Validate (and dedupe) before mutating anything.
+		kept := edits[:0]
+		for i, e := range edits {
+			if e.end > len(content) {
+				return nil, fmt.Errorf("lint: fix edit beyond end of %s", path)
+			}
+			if i > 0 && e == edits[i-1] {
+				continue // same fix suggested twice (e.g. two diagnostics, one cure)
+			}
+			if len(kept) > 0 && e.start < kept[len(kept)-1].end {
+				return nil, fmt.Errorf("lint: overlapping fix edits in %s at offset %d", path, e.start)
+			}
+			kept = append(kept, e)
+		}
+		// Apply back to front so earlier offsets stay valid.
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			content = append(content[:e.start], append([]byte(e.newText), content[e.end:]...)...)
+		}
+		out[path] = content
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestFixRoundTrip proves the -fix pipeline end to end on the fixable
+// golden package: run wirecompat, apply every suggested fix, reload the
+// repaired sources, and re-run to zero findings. The golden package is
+// copied into a temp directory inside testdata/src so the edits never
+// touch the checked-in sources, the loader still sees a module-local
+// package, and the copy's import path still ends in "api" (the
+// wire-contract suffix rule).
+func TestFixRoundTrip(t *testing.T) {
+	root, err := lint.ModuleRoot("")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	srcDir := filepath.Join(root, "internal", "lint", "testdata", "src", "fixable", "api")
+
+	tmpParent, err := os.MkdirTemp(filepath.Join(root, "internal", "lint", "testdata", "src"), "fixtmp-*")
+	if err != nil {
+		t.Fatalf("creating temp golden copy: %v", err)
+	}
+	defer os.RemoveAll(tmpParent)
+	dstDir := filepath.Join(tmpParent, "api")
+	if err := os.Mkdir(dstDir, 0o755); err != nil {
+		t.Fatalf("creating temp api dir: %v", err)
+	}
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("reading fixable golden package: %v", err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatalf("copying %s: %v", e.Name(), err)
+		}
+		if err := os.WriteFile(filepath.Join(dstDir, e.Name()), b, 0o644); err != nil {
+			t.Fatalf("copying %s: %v", e.Name(), err)
+		}
+	}
+
+	pattern := "./internal/lint/testdata/src/" + filepath.Base(tmpParent) + "/api"
+	pkgs, err := lint.Load(root, pattern)
+	if err != nil {
+		t.Fatalf("loading temp golden copy: %v", err)
+	}
+	diags := lint.RunPackages(pkgs, []*lint.Analyzer{lint.WireCompat})
+	if len(diags) == 0 {
+		t.Fatal("fixable golden package produced no findings")
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			t.Fatalf("finding without a suggested fix: %s", d)
+		}
+	}
+
+	fixed, err := lint.ApplyFixes(pkgs, diags)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("ApplyFixes produced no edited files")
+	}
+	for path, content := range fixed {
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatalf("writing fixed %s: %v", path, err)
+		}
+	}
+
+	pkgs, err = lint.Load(root, pattern)
+	if err != nil {
+		t.Fatalf("reloading after fixes: %v", err)
+	}
+	after := lint.RunPackages(pkgs, []*lint.Analyzer{lint.WireCompat})
+	for _, d := range after {
+		t.Errorf("finding survived -fix: %s", d)
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement in library packages to be tied
+// to a lifecycle. A goroutine with no tie outlives its phase: it holds
+// tensor buffers after the job report is written, keeps accepting on a
+// closed coordinator, or leaks one stack per request under the serving
+// layer. A launch counts as tied when any of these hold:
+//
+//   - the goroutine body calls sync.WaitGroup.Done (or Wait) — joined;
+//   - the body selects on / calls <-ctx.Done() — cancellation-scoped;
+//   - the body receives from (or ranges over) a named channel — a quit
+//     or work channel owned by the launcher drains it;
+//   - the body closes a channel — it signals its own completion;
+//   - a sync.WaitGroup.Add call textually precedes the launch in the
+//     enclosing function — the launcher registered it for joining.
+//
+// For `go f(...)` with a same-package callee, f's body is checked
+// against the same rules (one level deep, like the locks summaries).
+// Command and example packages are exempt — a process entry point's
+// goroutines die with the process.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "require every goroutine launched in library packages to be tied to a lifecycle " +
+		"(WaitGroup join, context cancellation, quit channel, or owned close)",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) {
+	if isToolPkg(p.Pkg.Path) {
+		return
+	}
+	g := &goroRunner{p: p, decls: make(map[*types.Func]*ast.FuncDecl)}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			if g.tied(gs, enclosingFuncBody(stack)) {
+				return
+			}
+			p.Reportf(gs.Pos(), "goroutine launched here has no lifecycle tie "+
+				"(no WaitGroup join, ctx.Done, quit-channel receive, or owned close); it can outlive its phase")
+		})
+	}
+}
+
+type goroRunner struct {
+	p     *Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// tied decides whether one launch satisfies the lifecycle contract.
+func (g *goroRunner) tied(gs *ast.GoStmt, encl ast.Node) bool {
+	if encl != nil && g.addPrecedes(encl, gs.Pos()) {
+		return true
+	}
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return g.bodyTied(lit.Body)
+	}
+	fn := calleeFunc(g.p.Pkg.Info, gs.Call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == g.p.Pkg.Path {
+		if fd := g.decls[fn]; fd != nil && fd.Body != nil {
+			return g.bodyTied(fd.Body)
+		}
+	}
+	return false
+}
+
+// bodyTied scans a goroutine body (or same-package callee body) for any
+// of the lifecycle markers. Channel parameters of a named callee count
+// the same as captured channels — either way the launcher owns an end.
+func (g *goroRunner) bodyTied(body *ast.BlockStmt) bool {
+	info := g.p.Pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil {
+				switch {
+				case methodReceiverIs(fn, "sync", "WaitGroup") && (fn.Name() == "Done" || fn.Name() == "Wait"):
+					found = true
+				case methodReceiverIs(fn, "context", "Context") && fn.Name() == "Done":
+					found = true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "close" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				switch ast.Unparen(n.X).(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// addPrecedes reports whether a WaitGroup.Add call appears before pos in
+// the launching function — the Add-then-go idiom registers the goroutine
+// with a join point even when Done lives in the callee.
+func (g *goroRunner) addPrecedes(encl ast.Node, pos token.Pos) bool {
+	info := g.p.Pkg.Info
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if fn := calleeFunc(info, call); methodReceiverIs(fn, "sync", "WaitGroup") && fn.Name() == "Add" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the innermost enclosing function body node
+// (decl or literal) from a walk stack, or nil at package scope.
+func enclosingFuncBody(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

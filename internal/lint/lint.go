@@ -1,7 +1,10 @@
 // Package lint is m2tdlint: a suite of custom static analyzers encoding
 // this repository's correctness invariants — determinism of the kernel
 // packages, context propagation, obs span hygiene, floating-point
-// comparison discipline, and tensor quarantine safety.
+// comparison discipline, tensor quarantine safety, and (since the
+// serving/distributed layers landed) lock discipline, goroutine
+// lifecycles, the typed wire contract, atomic artifact persistence, and
+// metric-name hygiene.
 //
 // The suite is intentionally built on the standard library alone
 // (go/ast, go/types, and `go list -export` for dependency export data)
@@ -49,6 +52,11 @@ var All = []*Analyzer{
 	Spans,
 	FloatCmp,
 	Quarantine,
+	Locks,
+	GoroLeak,
+	WireCompat,
+	AtomicStore,
+	MetricHygiene,
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -62,11 +70,30 @@ func ByName(name string) *Analyzer {
 }
 
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a human-readable message.
+// and a human-readable message. Fix, when non-nil, carries a textual
+// edit that removes the finding (`m2tdlint -fix` applies it).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fix      *SuggestedFix
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// is a pure insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is a set of edits that, applied together, resolve one
+// diagnostic. Mirrors analysis.SuggestedFix: edits are textual, so the
+// fixed tree must be re-parsed and re-verified (the -fix flag reruns the
+// suite after applying).
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // String renders the conventional file:line:col: [analyzer] message form.
@@ -103,6 +130,11 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless a justified
 // //lint:allow directive covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFixf(pos, nil, format, args...)
+}
+
+// ReportFixf is Reportf carrying a suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	if p.Pkg.allowed(p.Analyzer.Name, position) {
 		return
@@ -111,6 +143,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 

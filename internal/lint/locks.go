@@ -1,0 +1,628 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Locks enforces the mutex discipline of the serving/distributed layers
+// (DESIGN.md §15): in the lock-disciplined packages (internal/serve,
+// internal/distnet — suffix rule, like every analyzer here),
+//
+//  1. every sync.Mutex/RWMutex acquisition must be released on all
+//     paths out of the function — by a defer or a provably matched
+//     Unlock on every branch; and
+//  2. no lock may be held across a blocking operation: a channel send
+//     or receive, a select without a default, net.Conn / io.Reader /
+//     io.Writer IO, an internal/store method (disk IO), WaitGroup.Wait,
+//     time.Sleep, or a subprocess wait.
+//
+// Rule 2 propagates one call level deep through a per-function summary:
+// calling a same-package function whose own body performs a blocking
+// primitive counts as blocking at the call site (writeFrame wrapping
+// conn writes is the canonical case). The propagation is deliberately
+// NOT transitive — one level catches the helper-wrapper idiom without
+// turning the analyzer into a whole-program solver.
+//
+// The checker is a path-sensitive abstract interpretation of each
+// function body (and each func literal as its own scope): branches are
+// analyzed separately and merged, terminated paths (return, break,
+// panic) drop out of the merge, and loop bodies are assumed balanced —
+// a lock still held at the end of an iteration that was not held at
+// entry is reported. Deliberate write-serialization mutexes held across
+// a single frame write carry //lint:allow locks justifications.
+var Locks = &Analyzer{
+	Name: "locks",
+	Doc: "require every mutex acquisition in serve/distnet to be released on all paths " +
+		"and never held across a blocking operation (channel ops, conn/store IO, waits)",
+	Run: runLocks,
+}
+
+func runLocks(p *Pass) {
+	if !isLockDisciplinePkg(p.Pkg.Path) || isToolPkg(p.Pkg.Path) {
+		return
+	}
+	lk := &locksRunner{
+		p:             p,
+		blocks:        make(map[*types.Func]string),
+		reportedLeak:  make(map[token.Pos]bool),
+		reportedBlock: make(map[token.Pos]bool),
+	}
+	lk.summarize()
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lk.analyze(n.Body)
+				}
+			case *ast.FuncLit:
+				// Every literal is its own scope: goroutine bodies and
+				// closures never inherit the creator's held set (we cannot
+				// know when they run), but their own acquisitions must
+				// still balance.
+				lk.analyze(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+type locksRunner struct {
+	p *Pass
+	// blocks maps same-package functions to a description of the direct
+	// blocking primitive their body contains ("" absent) — the one-level
+	// summary.
+	blocks        map[*types.Func]string
+	reportedLeak  map[token.Pos]bool // keyed by acquisition pos
+	reportedBlock map[token.Pos]bool // keyed by blocking-site pos
+}
+
+// heldLock is one live acquisition.
+type heldLock struct {
+	pos      token.Pos // acquisition site
+	reported bool      // a blocking op was already reported for this region
+}
+
+// lockState is the abstract state: the set of held locks, the keys a
+// pending defer will release, and whether the path has terminated.
+type lockState struct {
+	held         map[string]heldLock
+	deferCovered map[string]bool
+	terminated   bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: make(map[string]heldLock), deferCovered: make(map[string]bool)}
+}
+
+func (st *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	for k := range st.deferCovered {
+		c.deferCovered[k] = true
+	}
+	c.terminated = st.terminated
+	return c
+}
+
+// summarize computes the one-level blocking summary for every
+// package-level function. Goroutine bodies are skipped — work a callee
+// hands off to another goroutine does not block the caller.
+func (lk *locksRunner) summarize() {
+	for _, file := range lk.p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := lk.p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if desc := lk.bodyBlocks(fd.Body); desc != "" {
+				lk.blocks[fn] = desc
+			}
+		}
+	}
+}
+
+// bodyBlocks scans one function body for a direct blocking primitive,
+// returning its description or "". Goroutine launches are skipped (work
+// handed to another goroutine does not block the caller), and so is a
+// select WITH a default clause in its entirety — its comm ops are
+// non-blocking attempts by construction, the signal() idiom.
+func (lk *locksRunner) bodyBlocks(body *ast.BlockStmt) string {
+	desc := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if d := lk.directBlocking(n); d != "" {
+				desc = d
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				desc = "channel receive"
+			}
+		case *ast.SendStmt:
+			desc = "channel send"
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				desc = "select without default"
+				return false
+			}
+			// Non-blocking select: the comm clauses cannot block, but a
+			// clause BODY still can — scan those alone.
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						if d := lk.bodyBlocks(&ast.BlockStmt{List: []ast.Stmt{s}}); d != "" {
+							desc = d
+						}
+					}
+				}
+			}
+			return false
+		}
+		return true
+	})
+	return desc
+}
+
+// analyze runs the abstract interpretation over one function scope.
+func (lk *locksRunner) analyze(body *ast.BlockStmt) {
+	st := newLockState()
+	lk.stmts(body.List, st)
+	if !st.terminated {
+		lk.leaks(st) // falling off the end of the function
+	}
+}
+
+func (lk *locksRunner) stmts(list []ast.Stmt, st *lockState) {
+	for _, s := range list {
+		lk.stmt(s, st)
+	}
+}
+
+func (lk *locksRunner) stmt(s ast.Stmt, st *lockState) {
+	if st.terminated || s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		lk.stmts(s.List, st)
+	case *ast.ExprStmt:
+		lk.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lk.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			lk.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						lk.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		lk.expr(s.X, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lk.expr(e, st)
+		}
+		lk.leaks(st)
+		st.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treating them
+		// as path terminators keeps the merge sound for the dominant
+		// `if cond { mu.Unlock(); break }` shape.
+		st.terminated = true
+	case *ast.DeferStmt:
+		if key, op := lk.mutexOp(s.Call); op == lockOpUnlock {
+			st.deferCovered[key] = true
+			return
+		}
+		// The deferred call's arguments evaluate now; the call itself
+		// runs at return, outside this analysis.
+		for _, e := range s.Call.Args {
+			lk.expr(e, st)
+		}
+	case *ast.GoStmt:
+		for _, e := range s.Call.Args {
+			lk.expr(e, st)
+		}
+	case *ast.SendStmt:
+		lk.expr(s.Chan, st)
+		lk.expr(s.Value, st)
+		lk.blockingAt(st, s.Arrow, "channel send")
+	case *ast.IfStmt:
+		lk.stmt(s.Init, st)
+		lk.expr(s.Cond, st)
+		then := st.clone()
+		lk.stmt(s.Body, then)
+		alt := st.clone()
+		if s.Else != nil {
+			lk.stmt(s.Else, alt)
+		}
+		lk.merge(st, then, alt)
+	case *ast.SwitchStmt:
+		lk.stmt(s.Init, st)
+		lk.expr(s.Tag, st)
+		lk.branches(st, s.Body, false)
+	case *ast.TypeSwitchStmt:
+		lk.stmt(s.Init, st)
+		lk.branches(st, s.Body, false)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			lk.blockingAt(st, s.Select, "select without default")
+		}
+		lk.branches(st, s.Body, true)
+	case *ast.ForStmt:
+		lk.stmt(s.Init, st)
+		lk.expr(s.Cond, st)
+		lk.loopBody(s.Body, s.Post, st)
+	case *ast.RangeStmt:
+		lk.expr(s.X, st)
+		lk.loopBody(s.Body, nil, st)
+	case *ast.LabeledStmt:
+		lk.stmt(s.Stmt, st)
+	}
+}
+
+// loopBody analyzes a loop body once for blocking ops and intra-body
+// balance, assumes the loop leaves the held set unchanged, and reports
+// any lock acquired inside the body that survives to the iteration's
+// end — a loop-carried leak compounds every iteration.
+func (lk *locksRunner) loopBody(body *ast.BlockStmt, post ast.Stmt, st *lockState) {
+	inner := st.clone()
+	lk.stmts(body.List, inner)
+	lk.stmt(post, inner)
+	if inner.terminated {
+		return
+	}
+	for key, h := range inner.held {
+		if _, atEntry := st.held[key]; !atEntry && !inner.deferCovered[key] {
+			lk.leakAt(key, h.pos, "still held at the end of the loop iteration")
+		}
+	}
+}
+
+// branches analyzes each clause of a switch/select body independently
+// against the entry state and merges the surviving exits. For comm
+// clauses the comm statement itself is part of the clause.
+func (lk *locksRunner) branches(st *lockState, body *ast.BlockStmt, isSelect bool) {
+	exits := []*lockState{}
+	hasDefault := false
+	for _, clause := range body.List {
+		c := st.clone()
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				lk.expr(e, c)
+			}
+			lk.stmts(cl.Body, c)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			if cl.Comm != nil {
+				// The blocking nature of the comm op is accounted for at
+				// the select statement itself; still evaluate for nested
+				// calls and lock ops.
+				lk.commExprs(cl.Comm, c)
+			}
+			lk.stmts(cl.Body, c)
+		}
+		exits = append(exits, c)
+	}
+	if !hasDefault || isSelect {
+		// A switch without default may run no clause at all; a select
+		// always runs exactly one, but keeping the entry state in the
+		// merge only widens the held set we already have.
+		exits = append(exits, st.clone())
+	}
+	lk.merge(st, exits...)
+}
+
+// commExprs evaluates a select comm statement's sub-expressions without
+// re-reporting its channel op (the select itself was the blocking site).
+func (lk *locksRunner) commExprs(s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		lk.expr(s.Chan, st)
+		lk.expr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				lk.expr(u.X, st)
+				continue
+			}
+			lk.expr(e, st)
+		}
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			lk.expr(u.X, st)
+			return
+		}
+		lk.expr(s.X, st)
+	}
+}
+
+// merge folds the non-terminated branch exits back into st: held is the
+// union (a lock held on any surviving path is a liability), deferCovered
+// the intersection (a defer on one branch does not save the other).
+func (lk *locksRunner) merge(st *lockState, exits ...*lockState) {
+	live := exits[:0]
+	for _, e := range exits {
+		if !e.terminated {
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		st.terminated = true
+		return
+	}
+	held := make(map[string]heldLock)
+	for _, e := range live {
+		for k, v := range e.held {
+			if _, ok := held[k]; !ok {
+				held[k] = v
+			}
+		}
+	}
+	covered := make(map[string]bool)
+	for k := range live[0].deferCovered {
+		all := true
+		for _, e := range live[1:] {
+			if !e.deferCovered[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			covered[k] = true
+		}
+	}
+	st.held = held
+	st.deferCovered = covered
+	st.terminated = false
+}
+
+// expr walks an expression in evaluation order, applying mutex ops and
+// reporting blocking calls. Func literals are separate scopes and are
+// skipped here.
+func (lk *locksRunner) expr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if key, op := lk.mutexOp(n); op != lockOpNone {
+				switch op {
+				case lockOpLock:
+					if _, dup := st.held[key]; !dup {
+						st.held[key] = heldLock{pos: n.Pos()}
+					}
+				case lockOpUnlock:
+					delete(st.held, key)
+				}
+				return true
+			}
+			if desc := lk.blockingCall(n); desc != "" {
+				lk.blockingAt(st, n.Pos(), desc)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lk.blockingAt(st, n.OpPos, "channel receive")
+			}
+		}
+		return true
+	})
+}
+
+type lockOp int
+
+const (
+	lockOpNone lockOp = iota
+	lockOpLock
+	lockOpUnlock
+)
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex acquisition or
+// release and returns the canonical receiver key ("s.mu", with ":r" for
+// the read side of an RWMutex).
+func (lk *locksRunner) mutexOp(call *ast.CallExpr) (string, lockOp) {
+	fn := calleeFunc(lk.p.Pkg.Info, call)
+	if fn == nil {
+		return "", lockOpNone
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", lockOpNone
+	}
+	recv := sig.Recv().Type()
+	if !isNamedType(recv, "sync", "Mutex") && !isNamedType(recv, "sync", "RWMutex") {
+		return "", lockOpNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockOpNone
+	}
+	key := lockExprKey(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return key, lockOpLock
+	case "Unlock":
+		return key, lockOpUnlock
+	case "RLock":
+		return key + ":r", lockOpLock
+	case "RUnlock":
+		return key + ":r", lockOpUnlock
+	}
+	return "", lockOpNone
+}
+
+// lockExprKey renders a lock receiver canonically (s.mu, e.mu, mu).
+// Anything fancier than ident/selector chains degrades to a positional
+// key, trading alias precision for never crashing.
+func lockExprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return lockExprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return lockExprKey(e.X) + "[]"
+	default:
+		return fmt.Sprintf("expr@%d", e.Pos())
+	}
+}
+
+// directBlocking classifies calls that block by themselves: conn/stream
+// IO, store persistence, waits, sleeps, subprocess joins.
+func (lk *locksRunner) directBlocking(call *ast.CallExpr) string {
+	fn := calleeFunc(lk.p.Pkg.Info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		switch {
+		case isPkgFunc(fn, "time", "Sleep"):
+			return "time.Sleep"
+		case isPkgFunc(fn, "io", "ReadFull"), isPkgFunc(fn, "io", "ReadAtLeast"),
+			isPkgFunc(fn, "io", "Copy"), isPkgFunc(fn, "io", "ReadAll"):
+			return "io." + fn.Name()
+		}
+		return ""
+	}
+	recv := sig.Recv().Type()
+	name := fn.Name()
+	switch {
+	case netConnTypeOf(recv) != "" && (name == "Read" || name == "Write" || name == "ReadFrom" || name == "WriteTo"):
+		return netConnTypeOf(recv) + "." + name + " (network IO)"
+	case (isNamedType(recv, "io", "Reader") || isNamedType(recv, "io", "Writer") ||
+		isNamedType(recv, "io", "ReadWriter")) && (name == "Read" || name == "Write"):
+		return "io stream " + name
+	case isNamedType(recv, "sync", "WaitGroup") && name == "Wait":
+		return "WaitGroup.Wait"
+	case isNamedType(recv, "sync", "Cond") && name == "Wait":
+		return "Cond.Wait"
+	case isStoreReceiver(recv):
+		return "store." + name + " (disk IO)"
+	case isNamedType(recv, "os/exec", "Cmd") && (name == "Run" || name == "Wait" || name == "Output" || name == "CombinedOutput"):
+		return "exec.Cmd." + name
+	case isNamedType(recv, "net/http", "Client") && (name == "Do" || name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+		return "http.Client." + name
+	}
+	return ""
+}
+
+// isStoreReceiver reports whether t is the durable store type — every
+// method on it is disk IO under the temp+rename+CRC protocol.
+func isStoreReceiver(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && isStorePkg(obj.Pkg().Path()) && obj.Name() == "Store"
+}
+
+// blockingCall is directBlocking plus the one-level summary: a call to a
+// same-package function whose body blocks counts as blocking here.
+func (lk *locksRunner) blockingCall(call *ast.CallExpr) string {
+	if desc := lk.directBlocking(call); desc != "" {
+		return desc
+	}
+	fn := calleeFunc(lk.p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != lk.p.Pkg.Path {
+		return ""
+	}
+	if desc, ok := lk.blocks[fn]; ok {
+		return fmt.Sprintf("call to %s (which performs %s)", fn.Name(), desc)
+	}
+	return ""
+}
+
+// blockingAt reports a blocking operation while locks are held — once
+// per held region, so a multi-write frame sequence yields one finding.
+func (lk *locksRunner) blockingAt(st *lockState, pos token.Pos, desc string) {
+	if len(st.held) == 0 {
+		return
+	}
+	fresh := false
+	keys := make([]string, 0, len(st.held))
+	for k, h := range st.held {
+		keys = append(keys, strings.TrimSuffix(k, ":r"))
+		if !h.reported {
+			fresh = true
+			h.reported = true
+			st.held[k] = h
+		}
+	}
+	if !fresh || lk.reportedBlock[pos] {
+		return
+	}
+	lk.reportedBlock[pos] = true
+	sort.Strings(keys)
+	lk.p.Reportf(pos, "%s while holding %s; release the lock before blocking (or justify a deliberate write-serialization mutex)",
+		desc, strings.Join(keys, ", "))
+}
+
+// leaks reports every held, non-defer-covered lock at a path exit.
+func (lk *locksRunner) leaks(st *lockState) {
+	for key, h := range st.held {
+		if !st.deferCovered[key] {
+			lk.leakAt(key, h.pos, "may still be held when the function returns")
+		}
+	}
+}
+
+// leakAt reports one leaked acquisition, deduped by acquisition site so
+// a lock leaking down several branches reads as one finding.
+func (lk *locksRunner) leakAt(key string, pos token.Pos, how string) {
+	if lk.reportedLeak[pos] {
+		return
+	}
+	lk.reportedLeak[pos] = true
+	lk.p.Reportf(pos, "%s acquired here %s; unlock on every path or defer the unlock",
+		strings.TrimSuffix(key, ":r"), how)
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

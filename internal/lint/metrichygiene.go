@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MetricHygiene requires every obs metric name to be a compile-time
+// constant at its registration site. A name assembled at runtime
+// ("m2td_serve_tenant_" + kind + "_" + tenant) is an unbounded
+// cardinality risk and makes the dashboard vocabulary ungreppable —
+// you cannot audit what a deploy exports by reading the code.
+//
+// Per-key series (per-tenant counters, per-phase histograms) are still
+// first-class: obs.Registry.KeyedCounter/KeyedHistogram take a constant
+// base name and derive sanitized per-key children get-or-create. The
+// obs package itself is exempt — its Keyed* constructors are the one
+// sanctioned place a name is concatenated.
+var MetricHygiene = &Analyzer{
+	Name: "metrichygiene",
+	Doc: "require obs metric names to be compile-time constants; per-key series " +
+		"go through the Keyed* instruments, never string concatenation",
+	Run: runMetricHygiene,
+}
+
+// registryNameMethods are the obs.Registry methods whose first argument
+// is a metric (or base) name.
+var registryNameMethods = map[string]bool{
+	"Counter":        true,
+	"Gauge":          true,
+	"FuncGauge":      true,
+	"Histogram":      true,
+	"KeyedCounter":   true,
+	"KeyedHistogram": true,
+}
+
+func runMetricHygiene(p *Pass) {
+	if isToolPkg(p.Pkg.Path) || isObsPkg(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !registryNameMethods[fn.Name()] {
+				return true
+			}
+			if !methodReceiverIs(fn, "repro/internal/obs", "Registry") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+				return true // compile-time constant — the contract
+			}
+			p.Reportf(call.Args[0].Pos(), "metric name passed to Registry.%s is not a compile-time constant; "+
+				"use a const name (per-key series go through Keyed* instruments)", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, so CI findings render as inline PR annotations on
+// code-scanning-aware forges. The structs cover exactly the subset of
+// the schema the suite emits: one run, one rule per analyzer, one result
+// per diagnostic with a single physical location.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes diags as a SARIF 2.1.0 log. File paths are written
+// relative to root (repo-relative URIs are what turns results into PR
+// annotations); analyzers supplies the rule table, and the synthetic
+// "m2tdlint" rule covers directive-hygiene diagnostics.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic, analyzers []*Analyzer) error {
+	rules := []sarifRule{{
+		ID:               "m2tdlint",
+		ShortDescription: sarifMessage{Text: "lint:allow directive hygiene: every suppression names a real analyzer and carries a justification"},
+	}}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "m2tdlint", Rules: rules}},
+			Results: results,
+		}},
+	})
+}

@@ -6,6 +6,27 @@ import (
 	"repro/internal/lint"
 )
 
+// TestSuiteComplete pins the analyzer roster: a rule silently dropped
+// from lint.All would leave TestRepoIsClean green while enforcing
+// nothing. The list is the contract — extend it when a PR adds a rule.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"determinism", "ctxprop", "spans", "floatcmp", "quarantine",
+		"locks", "goroleak", "wirecompat", "atomicstore", "metrichygiene",
+	}
+	if len(lint.All) != len(want) {
+		t.Fatalf("lint.All has %d analyzers, want %d", len(lint.All), len(want))
+	}
+	for i, name := range want {
+		if lint.All[i].Name != name {
+			t.Errorf("lint.All[%d] = %q, want %q", i, lint.All[i].Name, name)
+		}
+		if lint.ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+}
+
 // TestRepoIsClean is the acceptance gate: the full analyzer suite over
 // the whole module must produce zero findings. This is the in-process
 // equivalent of `go run ./cmd/m2tdlint ./...` exiting 0, so a violation

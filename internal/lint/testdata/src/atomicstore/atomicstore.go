@@ -1,0 +1,39 @@
+// Package atomicstore exercises the atomicstore analyzer: direct file
+// creation/renaming is banned in library packages — durable bytes go
+// through internal/store.
+package atomicstore
+
+import "os"
+
+// Positive: the three banned entry points.
+func persist(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `direct os\.WriteFile in a library package is a torn-write hazard`
+}
+
+func create(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create in a library package is a torn-write hazard`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func commit(tmp, final string) error {
+	return os.Rename(tmp, final) // want `direct os\.Rename in a library package is a torn-write hazard`
+}
+
+// Negative: reading is outside the durability contract.
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Negative: removal is not a torn-write hazard.
+func drop(path string) error {
+	return os.Remove(path)
+}
+
+// Suppressed: a justified direct write.
+func scratch(path string, b []byte) error {
+	//lint:allow atomicstore -- golden case: non-durable scratch file, recovery never reads it
+	return os.WriteFile(path, b, 0o600)
+}

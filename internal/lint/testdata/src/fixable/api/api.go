@@ -1,0 +1,12 @@
+// Package api carries ONLY fixable wirecompat violations: untagged
+// exported fields whose suggested fixes insert snake_case json tags.
+// The fix round-trip test copies this package, applies the fixes, and
+// re-runs the analyzer to prove the result is clean.
+package api
+
+type Report struct {
+	ID      string `json:"id"`
+	JobName string // want `exported field Report\.JobName of wire struct has no json tag`
+	MaxIter int    // want `exported field Report\.MaxIter of wire struct has no json tag`
+	HTTPUrl string // want `exported field Report\.HTTPUrl of wire struct has no json tag`
+}

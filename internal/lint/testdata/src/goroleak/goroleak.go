@@ -1,0 +1,95 @@
+// Package goroleak exercises the goroleak analyzer: every goroutine in
+// a library package must be tied to a lifecycle.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Negative: WaitGroup join.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Negative: cancellation-scoped via ctx.Done.
+func cancelScoped(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Negative: drains a quit channel owned by the launcher.
+func quitChannel(quit chan struct{}) {
+	go func() {
+		<-quit
+	}()
+}
+
+// Negative: ranges over a work channel — closing it ends the goroutine.
+func rangesOverChannel(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// Negative: signals its own completion by closing a channel.
+func ownedClose(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+// worker drains its task channel — a named callee whose body satisfies
+// the literal rules one level deep.
+func worker(tasks chan int) {
+	for range tasks {
+	}
+}
+
+// Negative: `go f(...)` with a same-package callee that is tied.
+func namedCallee(tasks chan int) {
+	go worker(tasks)
+}
+
+func fireAndForget() {}
+
+// Negative: Add textually precedes the launch; Done lives elsewhere.
+func addPrecedes(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go fireAndForget()
+}
+
+// Positive: nothing ties the literal to any lifecycle.
+func leakyLiteral() {
+	go func() { // want `goroutine launched here has no lifecycle tie`
+		fireAndForget()
+	}()
+}
+
+// Positive: an untied named callee with no preceding Add.
+func leakyNamed() {
+	go fireAndForget() // want `goroutine launched here has no lifecycle tie`
+}
+
+// Suppressed: a justified fire-and-forget.
+func suppressed() {
+	//lint:allow goroleak -- golden case: deliberate fire-and-forget for the suppression path
+	go fireAndForget()
+}

@@ -1,0 +1,146 @@
+// Package serve exercises the locks analyzer. The directory name ends
+// in "serve" so the import path opts into the lock-discipline suffix
+// rule. Positive cases carry want expectations; conforming functions
+// prove silence; one deliberate write-serialization mutex carries a
+// justified suppression.
+package serve
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	ch   chan int
+	n    int
+}
+
+// Negative: defer-released, no blocking ops.
+func (s *server) good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Negative: explicit unlock balanced on both branches.
+func (s *server) goodBranches(b bool) int {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Negative: RWMutex read side, defer-released.
+func (s *server) goodRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// Negative: a non-blocking signal (select with default) under the lock.
+func (s *server) goodSignal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// Negative: the goroutine body is its own scope and balances its own
+// acquisition.
+func (s *server) goodGoroutine(done chan struct{}) {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+		close(done)
+	}()
+}
+
+// Positive: the early return leaks the acquisition.
+func (s *server) leakOnReturn(b bool) int {
+	s.mu.Lock() // want `s\.mu acquired here may still be held when the function returns`
+	if b {
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Positive: a lock acquired inside the loop body survives the iteration.
+func (s *server) leakInLoop(xs []int) {
+	for range xs {
+		s.mu.Lock() // want `still held at the end of the loop iteration`
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Positive: channel send under the lock.
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// Positive: channel receive under the lock.
+func (s *server) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while holding s\.mu`
+}
+
+// Positive: select without default blocks under the lock.
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding s\.mu`
+	case <-s.ch:
+	}
+}
+
+// Positive: network IO under the lock; the second write is the same
+// held region, so only the first site reports.
+func (s *server) writeUnderLock(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.conn.Write(buf) // want `net\.Conn\.Write \(network IO\) while holding s\.mu`
+	_, _ = s.conn.Write(buf)
+}
+
+// Positive: time.Sleep under the lock.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// writeOut performs conn IO directly — the one-level summary marks it
+// blocking.
+func (s *server) writeOut(buf []byte) error {
+	_, err := s.conn.Write(buf)
+	return err
+}
+
+// Positive: blocking one call level deep through the helper.
+func (s *server) helperUnderLock(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.writeOut(buf) // want `call to writeOut \(which performs net\.Conn\.Write \(network IO\)\) while holding s\.mu`
+}
+
+// Suppressed: a deliberate write-serialization mutex, justified.
+func (s *server) serializedWrite(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow locks -- golden case: deliberate write-serialization mutex held across one frame write
+	_, _ = s.conn.Write(buf)
+}

@@ -1,0 +1,41 @@
+// Package metrichygiene exercises the metrichygiene analyzer against
+// the real repro/internal/obs registry: metric names must be
+// compile-time constants; per-key series go through Keyed* instruments.
+package metrichygiene
+
+import "repro/internal/obs"
+
+var reg = obs.NewRegistry()
+
+const submitsName = "m2td_golden_submits_total"
+
+// Negative: constant names, via const and literal.
+var (
+	submits = reg.Counter(submitsName, "golden submits")
+	seconds = reg.Histogram("m2td_golden_seconds", "golden latency", nil)
+	depth   = reg.Gauge("m2td_golden_depth", "golden depth")
+)
+
+// Negative: a keyed family with a constant base; the runtime key is the
+// sanctioned dynamic part.
+var perTenant = reg.KeyedCounter("m2td_golden_tenant_total", "golden per-tenant")
+
+func recordTenant(tenant string) {
+	perTenant.WithKey(tenant).Inc()
+}
+
+// Positive: a runtime-assembled metric name.
+func dynamicName(kind string) {
+	reg.Counter("m2td_golden_"+kind+"_total", "golden dynamic").Inc() // want `metric name passed to Registry\.Counter is not a compile-time constant`
+}
+
+// Positive: the keyed BASE must be constant too.
+func dynamicBase(base string) *obs.KeyedHistogram {
+	return reg.KeyedHistogram(base, "golden dynamic base", nil) // want `metric name passed to Registry\.KeyedHistogram is not a compile-time constant`
+}
+
+// Suppressed: a justified dynamic name.
+func scratchGauge(name string) {
+	//lint:allow metrichygiene -- golden case: test-scoped registry, name never exported
+	reg.Gauge(name, "golden scratch").Set(1)
+}

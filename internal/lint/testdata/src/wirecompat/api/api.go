@@ -1,0 +1,64 @@
+// Package api exercises the wirecompat analyzer's api-side rules: json
+// tags on wire structs, no any on the wire, and ErrorCode mapping
+// exhaustiveness. The directory name ends in "api" so the import path
+// opts into the wire-contract suffix rule.
+package api
+
+type ErrorCode string
+
+const (
+	CodeOK  ErrorCode = "ok"
+	CodeBad ErrorCode = "bad"
+	// Positive: in the vocabulary but absent from both the HTTPStatus
+	// switch and the ErrorCodes registry.
+	CodeGone ErrorCode = "gone" // want `CodeGone has no case in HTTPStatus` `CodeGone is missing from the ErrorCodes registry`
+)
+
+var ErrorCodes = []ErrorCode{CodeOK, CodeBad}
+
+func HTTPStatus(code ErrorCode) int {
+	switch code {
+	case CodeOK:
+		return 200
+	case CodeBad:
+		return 400
+	}
+	return 500
+}
+
+// Negative: every exported field tagged, concrete types only.
+type Good struct {
+	ID    string   `json:"id"`
+	Sizes []int    `json:"sizes"`
+	Err   *GoodErr `json:"err,omitempty"`
+}
+
+type GoodErr struct {
+	Code ErrorCode `json:"code"`
+}
+
+// Positive: one untagged exported field (fixable) and one any field.
+type Partial struct {
+	ID      string `json:"id"`
+	JobName string // want `exported field Partial\.JobName of wire struct has no json tag`
+	Extra   any    `json:"extra"` // want `field Partial\.Extra is any/interface\{\} on the wire`
+}
+
+// Negative: zero json tags — not a wire struct, a plain options bag.
+type Options struct {
+	Name    string
+	Retries int
+}
+
+// Negative: unexported fields need no tag.
+type Mixed struct {
+	ID       string `json:"id"`
+	internal int
+}
+
+// Suppressed: a justified untagged field.
+type Suppressed struct {
+	ID string `json:"id"`
+	//lint:allow wirecompat -- golden case: legacy field frozen without a tag
+	Legacy string
+}

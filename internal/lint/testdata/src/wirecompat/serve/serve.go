@@ -1,0 +1,43 @@
+// Package serve exercises the wirecompat analyzer's handler-side rule:
+// error paths return the typed envelope, never a bare body.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+type envelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Negative: the typed envelope with an explicit status.
+func good(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(envelope{Code: "invalid_request", Message: "bad"})
+}
+
+// Positive: http.Error loses the code vocabulary.
+func badError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses the typed api\.Error envelope`
+}
+
+// Positive: a bare printf body is not a wire payload.
+func badPrintf(w http.ResponseWriter, err error) {
+	fmt.Fprintf(w, "error: %v", err) // want `fmt\.Fprintf writes a bare body to an http\.ResponseWriter`
+}
+
+// Negative: Fprintf to a non-ResponseWriter stays legal.
+func logLine(buf fmt.Stringer) string {
+	return fmt.Sprintf("ok: %v", buf)
+}
+
+// Suppressed: the metrics text exposition is the one sanctioned bare
+// writer.
+func metricsPage(w http.ResponseWriter) {
+	//lint:allow wirecompat -- golden case: Prometheus text exposition, not an error path
+	fmt.Fprintf(w, "m2td_golden_total %d\n", 1)
+}

@@ -74,6 +74,51 @@ func isTensorPkg(path string) bool {
 	return strings.HasSuffix(path, "internal/tensor") || path == "repro/internal/tensor"
 }
 
+// pathBase is the final import-path element — the hook every suffix rule
+// hangs off, so golden testdata packages opt into a rule by directory
+// name exactly as the PR 5 analyzers allow.
+func pathBase(path string) string {
+	return path[strings.LastIndex(path, "/")+1:]
+}
+
+// lockDisciplinePkgs are the concurrency-heavy serving/distributed
+// packages the locks analyzer polices: the admission pipeline's server
+// mutex and the lease engine's roster/frame mutexes must never be held
+// across a blocking operation or leak past a return path.
+var lockDisciplinePkgs = map[string]bool{
+	"serve":   true,
+	"distnet": true,
+}
+
+// isLockDisciplinePkg reports whether the import path names one of the
+// lock-disciplined packages (suffix rule, like isDeterministicPkg).
+func isLockDisciplinePkg(path string) bool {
+	if !strings.Contains(path, "internal/") {
+		return false
+	}
+	return lockDisciplinePkgs[pathBase(path)]
+}
+
+// isAPIPkg reports whether the import path's final element is "api" —
+// the wire-contract package(s) wirecompat polices for json-tag and
+// error-code completeness.
+func isAPIPkg(path string) bool { return pathBase(path) == "api" }
+
+// isServePkg reports whether the import path's final element is "serve"
+// — the HTTP handler package whose error paths must use the typed
+// envelope.
+func isServePkg(path string) bool { return pathBase(path) == "serve" }
+
+// isStorePkg reports whether the import path names the sanctioned
+// durable-store implementation, the one place direct os file mutation is
+// legitimate (it IS the temp+rename+CRC protocol).
+func isStorePkg(path string) bool { return pathBase(path) == "store" }
+
+// isObsPkg reports whether the import path names the obs package itself,
+// whose Keyed* instrument constructors legitimately build metric names
+// at runtime (from a constant base plus a sanitized key).
+func isObsPkg(path string) bool { return pathBase(path) == "obs" }
+
 // ---- stack-tracking AST walk ---------------------------------------------
 
 // walkStack traverses root depth-first, invoking fn with each node and

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+	"unicode"
+)
+
+// WireCompat polices the wire contract between the campaign server and
+// its clients (DESIGN.md §15). In api packages (final path element
+// "api"):
+//
+//   - every exported field of a wire struct — a struct with at least one
+//     json-tagged field — must carry a json tag, so renames are a
+//     deliberate wire-version decision, not a Go refactor side effect
+//     (fixable: -fix inserts the snake_case tag);
+//   - no wire struct field may be typed any/interface{} — the envelope
+//     is versioned and typed, an untyped field is an unreviewable schema;
+//   - if the package defines an ErrorCode type, every ErrorCode constant
+//     must have a case in the HTTPStatus mapping and appear in the
+//     ErrorCodes registry (when one exists) — clients switch on codes,
+//     an unmapped code collapses to a default status and loses meaning.
+//
+// In serve packages, handler error paths must return the typed envelope:
+// http.Error and fmt.Fprint* straight onto an http.ResponseWriter are
+// banned (the Prometheus text exposition carries a justified allow).
+var WireCompat = &Analyzer{
+	Name: "wirecompat",
+	Doc: "require json tags and concrete types on api wire structs, exhaustive " +
+		"ErrorCode→HTTP status mapping, and typed error envelopes in serve handlers",
+	Run: runWireCompat,
+}
+
+func runWireCompat(p *Pass) {
+	if isToolPkg(p.Pkg.Path) {
+		return
+	}
+	if isAPIPkg(p.Pkg.Path) {
+		checkWireStructs(p)
+		checkErrorCodes(p)
+	}
+	if isServePkg(p.Pkg.Path) {
+		checkBareResponses(p)
+	}
+}
+
+// checkWireStructs enforces the json-tag and no-any rules on every wire
+// struct in the package.
+func checkWireStructs(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || !isWireStruct(st) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				checkWireField(p, ts.Name.Name, st, field)
+			}
+			return true
+		})
+	}
+}
+
+// isWireStruct reports whether a struct participates in the wire format:
+// at least one field carries a json tag. Plain in-process structs (the
+// Client, option bags) stay out of scope.
+func isWireStruct(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if jsonTagOf(f) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonTagOf extracts the json struct tag value, or "".
+func jsonTagOf(f *ast.Field) string {
+	if f.Tag == nil {
+		return ""
+	}
+	raw := strings.Trim(f.Tag.Value, "`")
+	return reflect.StructTag(raw).Get("json")
+}
+
+// checkWireField reports an exported, untagged field (with a suggested
+// snake_case fix) and any any/interface{}-typed field.
+func checkWireField(p *Pass, structName string, st *ast.StructType, field *ast.Field) {
+	if len(field.Names) == 0 {
+		return // embedded
+	}
+	exported := false
+	for _, name := range field.Names {
+		if name.IsExported() {
+			exported = true
+		}
+	}
+	if !exported {
+		return
+	}
+	if jsonTagOf(field) == "" {
+		fieldName := field.Names[0].Name
+		var fix *SuggestedFix
+		if field.Tag == nil && len(field.Names) == 1 {
+			fix = &SuggestedFix{
+				Message: "add a snake_case json tag",
+				Edits: []TextEdit{{
+					Pos:     field.Type.End(),
+					NewText: " `json:\"" + snakeCase(fieldName) + "\"`",
+				}},
+			}
+		}
+		p.ReportFixf(field.Pos(), fix,
+			"exported field %s.%s of wire struct has no json tag; tag every wire field so renames are wire-version decisions",
+			structName, fieldName)
+	}
+	if tv, ok := p.Pkg.Info.Types[field.Type]; ok && tv.Type != nil {
+		if iface, ok := types.Unalias(tv.Type).Underlying().(*types.Interface); ok && iface.Empty() {
+			p.Reportf(field.Pos(), "field %s.%s is any/interface{} on the wire; the envelope is typed — declare a concrete schema",
+				structName, field.Names[0].Name)
+		}
+	}
+}
+
+// snakeCase converts an exported Go field name to its wire-conventional
+// snake_case form (JobID → job_id, MaxWorkers → max_workers).
+func snakeCase(name string) string {
+	var b strings.Builder
+	runes := []rune(name)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			// Break before an upper that follows a lower/digit, or that
+			// starts a new word after an acronym run (JobID → job_id).
+			if i > 0 && (!unicode.IsUpper(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// checkErrorCodes enforces the exhaustive code→status mapping: every
+// constant of the package's ErrorCode type must be a case in HTTPStatus
+// and a member of the ErrorCodes registry literal (when one exists).
+func checkErrorCodes(p *Pass) {
+	info := p.Pkg.Info
+
+	var codeType *types.TypeName
+	var codeTypePos *ast.Ident
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if ok && ts.Name.Name == "ErrorCode" {
+				if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+					codeType = tn
+					codeTypePos = ts.Name
+				}
+			}
+			return true
+		})
+	}
+	if codeType == nil {
+		return // package defines no error-code vocabulary
+	}
+
+	// All constants of the ErrorCode type, in declaration order.
+	type codeConst struct {
+		obj *types.Const
+		id  *ast.Ident
+	}
+	var consts []codeConst
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, name := range vs.Names {
+				if c, ok := info.Defs[name].(*types.Const); ok &&
+					namedOf(c.Type()) != nil && namedOf(c.Type()).Obj() == codeType {
+					consts = append(consts, codeConst{c, name})
+				}
+			}
+			return true
+		})
+	}
+	if len(consts) == 0 {
+		return
+	}
+
+	// Uses of each constant inside HTTPStatus switch cases and the
+	// ErrorCodes composite literal.
+	inSwitch := make(map[*types.Const]bool)
+	inRegistry := make(map[*types.Const]bool)
+	var haveHTTPStatus, haveRegistry bool
+	collect := func(root ast.Node, into map[*types.Const]bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if c, ok := info.Uses[id].(*types.Const); ok {
+					into[c] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "HTTPStatus" && fd.Recv == nil && fd.Body != nil {
+				haveHTTPStatus = true
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if cc, ok := n.(*ast.CaseClause); ok {
+						for _, e := range cc.List {
+							collect(e, inSwitch)
+						}
+					}
+					return true
+				})
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name == "ErrorCodes" && i < len(vs.Values) {
+					haveRegistry = true
+					collect(vs.Values[i], inRegistry)
+				}
+			}
+			return true
+		})
+	}
+
+	if !haveHTTPStatus {
+		p.Reportf(codeTypePos.Pos(), "ErrorCode type has no HTTPStatus mapping function; every wire code needs a deterministic HTTP status")
+		return
+	}
+	for _, c := range consts {
+		if !inSwitch[c.obj] {
+			p.Reportf(c.id.Pos(), "ErrorCode constant %s has no case in HTTPStatus; unmapped codes collapse to a default status on the wire",
+				c.id.Name)
+		}
+		if haveRegistry && !inRegistry[c.obj] {
+			p.Reportf(c.id.Pos(), "ErrorCode constant %s is missing from the ErrorCodes registry; round-trip tests cannot cover it",
+				c.id.Name)
+		}
+	}
+}
+
+// checkBareResponses bans http.Error and fmt.Fprint* writing straight to
+// an http.ResponseWriter in serve packages — every handler error path
+// goes through the typed envelope.
+func checkBareResponses(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if isPkgFunc(fn, "net/http", "Error") {
+				p.Reportf(call.Pos(), "http.Error bypasses the typed api.Error envelope; use the envelope writer so clients always get a code")
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+				if tv, ok := info.Types[call.Args[0]]; ok && isNamedType(tv.Type, "net/http", "ResponseWriter") {
+					p.Reportf(call.Pos(), "fmt.%s writes a bare body to an http.ResponseWriter; handler output goes through the typed envelope",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

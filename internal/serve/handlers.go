@@ -44,27 +44,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		elapsed := time.Since(start).Seconds()
 		s.metrics.requestSeconds.Observe(elapsed)
 		if tenant := r.Header.Get(api.TenantHeader); tenant != "" {
-			s.metrics.tenantHistogram(tenant).Observe(elapsed)
+			s.metrics.tenantRequestSeconds.WithKey(tenant).Observe(elapsed)
 		}
 	})
-}
-
-// httpStatus maps machine-readable error codes onto HTTP statuses.
-func httpStatus(code api.ErrorCode) int {
-	switch code {
-	case api.CodeInvalidRequest:
-		return http.StatusBadRequest
-	case api.CodeNotFound:
-		return http.StatusNotFound
-	case api.CodeQuotaExceeded:
-		return http.StatusTooManyRequests
-	case api.CodeQueueFull, api.CodeShuttingDown:
-		return http.StatusServiceUnavailable
-	case api.CodeNotDone:
-		return http.StatusConflict
-	default:
-		return http.StatusInternalServerError
-	}
 }
 
 // writeJSON writes a 200 with a JSON body.
@@ -75,10 +57,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeErr writes the typed error envelope with its mapped status.
+// writeErr writes the typed error envelope with its mapped status. The
+// code→status mapping lives in the api package (api.HTTPStatus), where
+// wirecompat keeps it exhaustive — the server adds nothing to it.
 func writeErr(w http.ResponseWriter, e *api.Error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(httpStatus(e.Code))
+	w.WriteHeader(api.HTTPStatus(e.Code))
 	_ = json.NewEncoder(w).Encode(e)
 }
 

@@ -1,8 +1,6 @@
 package serve
 
 import (
-	"strings"
-
 	"repro/internal/obs"
 )
 
@@ -32,7 +30,21 @@ type metrics struct {
 
 	requestSeconds *obs.Histogram
 	jobSeconds     *obs.Histogram
+
+	tenantSubmits        *obs.KeyedCounter
+	tenantCacheHits      *obs.KeyedCounter
+	tenantRequestSeconds *obs.KeyedHistogram
 }
+
+// Per-tenant metric base names. The registry has no label support, so
+// the sanitized tenant is folded into the metric name by the Keyed*
+// instruments — but these bases are the compile-time vocabulary
+// (metrichygiene): m2td_serve_tenant_submits_total_<tenant>, etc.
+const (
+	tenantSubmitsBase        = "m2td_serve_tenant_submits_total"
+	tenantCacheHitsBase      = "m2td_serve_tenant_cache_hits_total"
+	tenantRequestSecondsBase = "m2td_serve_tenant_request_seconds"
+)
 
 func newMetrics(reg *obs.Registry, s *Server) *metrics {
 	m := &metrics{
@@ -48,6 +60,10 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		jobsFailed:     reg.Counter("m2td_serve_jobs_failed_total", "campaigns that failed"),
 		requestSeconds: reg.Histogram("m2td_serve_request_seconds", "HTTP request latency", latencyBounds),
 		jobSeconds:     reg.Histogram("m2td_serve_job_seconds", "submit-to-done campaign latency", latencyBounds),
+
+		tenantSubmits:        reg.KeyedCounter(tenantSubmitsBase, "per-tenant submits"),
+		tenantCacheHits:      reg.KeyedCounter(tenantCacheHitsBase, "per-tenant cache hits"),
+		tenantRequestSeconds: reg.KeyedHistogram(tenantRequestSecondsBase, "per-tenant HTTP request latency", latencyBounds),
 	}
 	reg.FuncGauge("m2td_serve_queue_depth", "queued campaigns", func() int64 {
 		s.mu.Lock()
@@ -65,37 +81,4 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		return int64(s.cache.len())
 	})
 	return m
-}
-
-// tenantCounter returns the get-or-create per-tenant counter for one
-// kind ("submits", "cache_hits", "requests"). The registry has no label
-// support, so the sanitized tenant is folded into the metric name.
-func (m *metrics) tenantCounter(kind, tenant string) *obs.Counter {
-	return m.reg.Counter("m2td_serve_tenant_"+kind+"_total_"+sanitizeTenant(tenant),
-		"per-tenant "+strings.ReplaceAll(kind, "_", " "))
-}
-
-// tenantHistogram returns the get-or-create per-tenant request-latency
-// histogram.
-func (m *metrics) tenantHistogram(tenant string) *obs.Histogram {
-	return m.reg.Histogram("m2td_serve_tenant_request_seconds_"+sanitizeTenant(tenant),
-		"per-tenant HTTP request latency", latencyBounds)
-}
-
-// sanitizeTenant maps a free-form tenant identity onto Prometheus
-// metric-name characters.
-func sanitizeTenant(tenant string) string {
-	if tenant == "" {
-		return "anon"
-	}
-	var b strings.Builder
-	for _, r := range tenant {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('_')
-		}
-	}
-	return b.String()
 }

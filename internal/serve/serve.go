@@ -290,7 +290,7 @@ func (s *Server) submit(tenant string, priority int, cfg m2td.Config, timeoutMS 
 		return nil, &api.Error{Code: api.CodeShuttingDown, Message: "server is draining"}
 	}
 	s.metrics.submits.Inc()
-	s.metrics.tenantCounter("submits", tenant).Inc()
+	s.metrics.tenantSubmits.WithKey(tenant).Inc()
 
 	// In-flight dedupe: identical campaign already queued or running.
 	if j := s.inflight[fp]; j != nil {
@@ -304,7 +304,7 @@ func (s *Server) submit(tenant string, priority int, cfg m2td.Config, timeoutMS 
 	// LRU cache in front of the store.
 	if e := s.cache.get(fp); e != nil {
 		s.metrics.cacheHits.Inc()
-		s.metrics.tenantCounter("cache_hits", tenant).Inc()
+		s.metrics.tenantCacheHits.WithKey(tenant).Inc()
 		resp := &api.SubmitResponse{JobID: e.jobID, State: api.StateDone, Fingerprint: fp, CacheHit: true}
 		s.mu.Unlock()
 		return resp, nil
